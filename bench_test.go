@@ -1,0 +1,323 @@
+package thynvm_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`); cmd/thynvm-bench prints
+// the same tables at larger scale. Each BenchmarkTableN/BenchmarkFigN runs
+// the corresponding experiment end-to-end and reports the headline metric
+// of that table/figure via b.ReportMetric, so regressions in the
+// reproduced *shapes* (not just wall-clock speed) show up in benchmark
+// diffs. Microbenchmarks for the controller's hot operations follow.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"thynvm"
+)
+
+// benchScale is a reduced scale so the full `go test -bench=.` suite
+// completes in a couple of minutes.
+func benchScale() thynvm.Scale {
+	sc := thynvm.ScaleSmall()
+	sc.MicroOps = 12_000
+	sc.MicroFootprint = 8 << 20
+	sc.KVTx = 1_000
+	sc.KVPreload = 2_000
+	sc.KVKeys = 4_096
+	sc.KVSizes = []int{64, 1024}
+	sc.SPECOps = 8_000
+	sc.EpochLen = 500 * time.Microsecond
+	sc.BTTSweep = []int{256, 2048, 8192}
+	return sc
+}
+
+func parseCell(b *testing.B, s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("unparsable table cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable1_TradeoffAblation measures the Table 1 trade-off space:
+// each single-granularity scheme vs the dual scheme.
+func BenchmarkTable1_TradeoffAblation(b *testing.B) {
+	sc := benchScale()
+	var tab *thynvm.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = thynvm.RunTable1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", tab)
+	// Headline: the dual scheme's normalized execution time.
+	for _, row := range tab.Rows {
+		if row[0] == "ThyNVM(dual)" {
+			b.ReportMetric(parseCell(b, row[1]), "dual_norm_exec")
+		}
+	}
+}
+
+// BenchmarkFig7_MicroExecTime regenerates Figure 7 (execution time of the
+// micro-benchmarks across the five systems).
+func BenchmarkFig7_MicroExecTime(b *testing.B) {
+	sc := benchScale()
+	var mr *thynvm.MicroResults
+	for i := 0; i < b.N; i++ {
+		var err error
+		mr, err = thynvm.RunMicro(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", mr.Fig7())
+	var sumThy, sumJournal float64
+	for _, w := range thynvm.MicroNames() {
+		base := float64(mr.Results[w][thynvm.SystemIdealDRAM].Cycles)
+		sumThy += float64(mr.Results[w][thynvm.SystemThyNVM].Cycles) / base
+		sumJournal += float64(mr.Results[w][thynvm.SystemJournal].Cycles) / base
+	}
+	n := float64(len(thynvm.MicroNames()))
+	b.ReportMetric(sumThy/n, "thynvm_vs_dram")
+	b.ReportMetric(sumJournal/n, "journal_vs_dram")
+}
+
+// BenchmarkFig8_WriteTraffic regenerates Figure 8 (NVM write traffic by
+// source and checkpointing time share).
+func BenchmarkFig8_WriteTraffic(b *testing.B) {
+	sc := benchScale()
+	var mr *thynvm.MicroResults
+	for i := 0; i < b.N; i++ {
+		var err error
+		mr, err = thynvm.RunMicro(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", mr.Fig8())
+	var thyPct, journalPct, shadowPct float64
+	for _, w := range thynvm.MicroNames() {
+		thyPct += mr.Results[w][thynvm.SystemThyNVM].PctCkpt * 100
+		journalPct += mr.Results[w][thynvm.SystemJournal].PctCkpt * 100
+		shadowPct += mr.Results[w][thynvm.SystemShadow].PctCkpt * 100
+	}
+	n := float64(len(thynvm.MicroNames()))
+	b.ReportMetric(thyPct/n, "thynvm_ckpt_pct")
+	b.ReportMetric(journalPct/n, "journal_ckpt_pct")
+	b.ReportMetric(shadowPct/n, "shadow_ckpt_pct")
+}
+
+// BenchmarkFig9_KVThroughput and BenchmarkFig10_KVWriteBandwidth regenerate
+// the storage-benchmark figures (transaction throughput and write
+// bandwidth vs request size).
+func BenchmarkFig9_KVThroughput(b *testing.B) {
+	sc := benchScale()
+	var kr *thynvm.KVResults
+	for i := 0; i < b.N; i++ {
+		var err error
+		kr, err = thynvm.RunKV(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", kr.Fig9())
+	var thy, dram float64
+	var cnt int
+	for _, r := range kr.Results {
+		if r.System == thynvm.SystemThyNVM {
+			thy += r.ThroughputKTPS
+			cnt++
+		}
+		if r.System == thynvm.SystemIdealDRAM {
+			dram += r.ThroughputKTPS
+		}
+	}
+	if cnt > 0 && dram > 0 {
+		b.ReportMetric(thy/dram, "thynvm_vs_dram_tput")
+	}
+}
+
+func BenchmarkFig10_KVWriteBandwidth(b *testing.B) {
+	sc := benchScale()
+	var kr *thynvm.KVResults
+	for i := 0; i < b.N; i++ {
+		var err error
+		kr, err = thynvm.RunKV(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", kr.Fig10())
+	var thy, shadow float64
+	for _, r := range kr.Results {
+		switch r.System {
+		case thynvm.SystemThyNVM:
+			thy += r.WriteBandwidthMBs
+		case thynvm.SystemShadow:
+			shadow += r.WriteBandwidthMBs
+		}
+	}
+	b.ReportMetric(thy, "thynvm_wr_MBps_sum")
+	b.ReportMetric(shadow, "shadow_wr_MBps_sum")
+}
+
+// BenchmarkFig11_SPECIPC regenerates Figure 11 (normalized IPC of the SPEC
+// CPU2006 stand-ins).
+func BenchmarkFig11_SPECIPC(b *testing.B) {
+	sc := benchScale()
+	var tab *thynvm.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = thynvm.RunFig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", tab)
+	last := tab.Rows[len(tab.Rows)-1] // average row
+	b.ReportMetric(parseCell(b, last[3]), "thynvm_norm_ipc")
+	b.ReportMetric(parseCell(b, last[2]), "idealnvm_norm_ipc")
+}
+
+// BenchmarkFig12_BTTSensitivity regenerates Figure 12 (effect of BTT size).
+func BenchmarkFig12_BTTSensitivity(b *testing.B) {
+	sc := benchScale()
+	var tab *thynvm.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = thynvm.RunFig12(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", tab)
+	small := parseCell(b, tab.Rows[0][1])
+	large := parseCell(b, tab.Rows[len(tab.Rows)-1][1])
+	if small > 0 {
+		b.ReportMetric(large/small, "tput_gain_large_btt")
+	}
+}
+
+// ---- controller-level microbenchmarks (ns/op of the hot paths) ----
+
+func newBenchSystem(b *testing.B, kind thynvm.SystemKind) *thynvm.System {
+	b.Helper()
+	opts := thynvm.DefaultOptions()
+	opts.PhysBytes = 64 << 20
+	opts.EpochLen = time.Millisecond
+	sys, err := thynvm.NewSystem(kind, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkWritePath(b *testing.B) {
+	for _, kind := range thynvm.AllSystems() {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := newBenchSystem(b, kind)
+			data := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Write(uint64(i%(1<<19))*64, data)
+			}
+		})
+	}
+}
+
+func BenchmarkReadPath(b *testing.B) {
+	for _, kind := range thynvm.AllSystems() {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := newBenchSystem(b, kind)
+			data := make([]byte, 64)
+			for i := 0; i < 1<<14; i++ {
+				sys.Write(uint64(i)*64, data)
+			}
+			buf := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Read(uint64(i%(1<<14))*64, buf)
+			}
+		})
+	}
+}
+
+func BenchmarkCheckpointCommit(b *testing.B) {
+	for _, kind := range []thynvm.SystemKind{thynvm.SystemThyNVM, thynvm.SystemJournal, thynvm.SystemShadow} {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := newBenchSystem(b, kind)
+			data := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 256; j++ {
+					sys.Write(uint64((i*256+j)%(1<<18))*64, data)
+				}
+				sys.Checkpoint()
+				sys.Drain()
+			}
+		})
+	}
+}
+
+func BenchmarkCrashRecovery(b *testing.B) {
+	for _, kind := range []thynvm.SystemKind{thynvm.SystemThyNVM, thynvm.SystemJournal, thynvm.SystemShadow} {
+		b.Run(kind.String(), func(b *testing.B) {
+			data := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := newBenchSystem(b, kind)
+				for j := 0; j < 1024; j++ {
+					sys.Write(uint64(j)*4096, data)
+				}
+				sys.Checkpoint()
+				sys.Drain()
+				sys.Crash()
+				b.StartTimer()
+				if _, err := sys.Recover(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKVStoreOps measures end-to-end persistent KV transactions on
+// ThyNVM (what Figure 9 is made of, per-op view).
+func BenchmarkKVStoreOps(b *testing.B) {
+	for _, store := range []string{"hash", "rbtree"} {
+		b.Run(store, func(b *testing.B) {
+			sys := newBenchSystem(b, thynvm.SystemThyNVM)
+			sys.DisableAutoCheckpoint()
+			var st thynvm.KVStore
+			var err error
+			if store == "hash" {
+				st, _, err = sys.NewHashTable(64, 4096, 32<<20, 1024)
+			} else {
+				st, _, err = sys.NewRBTree(64, 4096, 32<<20)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i % 2048)
+				switch i % 3 {
+				case 0:
+					if err := st.Put(k, val); err != nil {
+						b.Fatal(err)
+					}
+				case 1:
+					st.Get(k)
+				case 2:
+					st.Delete(k)
+				}
+				sys.CheckpointIfDue()
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Command thynvm-bench regenerates every table and figure of the ThyNVM
+// paper's evaluation (MICRO-48, 2015) on the simulator.
+//
+// Usage:
+//
+//	thynvm-bench [-exp all|table1|table2|fig7|fig8|fig9|fig10|fig11|fig12]
+//	             [-scale small|default] [-csv]
+//
+// With -csv the tables are additionally emitted as CSV to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"thynvm"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig7..fig12, epochs, recovery")
+	scaleName := flag.String("scale", "default", "experiment scale: small or default")
+	csv := flag.Bool("csv", false, "also emit CSV")
+	flag.Parse()
+
+	var sc thynvm.Scale
+	switch *scaleName {
+	case "small":
+		sc = thynvm.ScaleSmall()
+	case "default":
+		sc = thynvm.ScaleDefault()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	emit := func(t *thynvm.Table) {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := t.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "thynvm-bench:", err)
+		os.Exit(1)
+	}
+	timed := func(name string, f func()) {
+		start := time.Now()
+		f()
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("ThyNVM evaluation reproduction (scale=%s)\n%s\n\n", *scaleName, strings.Repeat("=", 60))
+
+	if want("table2") {
+		emit(thynvm.Table2())
+	}
+	if want("table1") {
+		timed("table1", func() {
+			t, err := thynvm.RunTable1(sc)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		})
+	}
+	if want("fig7") || want("fig8") {
+		timed("fig7+fig8", func() {
+			mr, err := thynvm.RunMicro(sc)
+			if err != nil {
+				fail(err)
+			}
+			if want("fig7") {
+				emit(mr.Fig7())
+			}
+			if want("fig8") {
+				emit(mr.Fig8())
+			}
+		})
+	}
+	if want("fig9") || want("fig10") {
+		timed("fig9+fig10", func() {
+			kr, err := thynvm.RunKV(sc)
+			if err != nil {
+				fail(err)
+			}
+			if want("fig9") {
+				emit(kr.Fig9())
+			}
+			if want("fig10") {
+				emit(kr.Fig10())
+			}
+		})
+	}
+	if want("fig11") {
+		timed("fig11", func() {
+			t, err := thynvm.RunFig11(sc)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		})
+	}
+	if want("fig12") {
+		timed("fig12", func() {
+			t, err := thynvm.RunFig12(sc)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		})
+	}
+	if want("epochs") {
+		timed("epochs", func() {
+			t, err := thynvm.RunEpochSweep(sc, nil)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		})
+	}
+	if want("recovery") {
+		timed("recovery", func() {
+			t, err := thynvm.RunRecoveryLatency(sc)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Command thynvm-recover demonstrates software-transparent crash recovery:
+// it runs an unmodified key-value application on a chosen memory system,
+// injects a power failure mid-run, performs recovery, and verifies that the
+// recovered store matches the last committed epoch exactly.
+//
+// Usage:
+//
+//	thynvm-recover [-system thynvm] [-tx 3000] [-store hash|rbtree]
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"flag"
+
+	"thynvm"
+)
+
+type app struct {
+	sys     *thynvm.System
+	store   thynvm.KVStore
+	arena   *thynvm.KVArena
+	applied uint64
+	isTree  bool
+}
+
+const headerAddr = 64
+
+func (a *app) save() []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, a.applied)
+	return append(out, a.arena.Serialize()...)
+}
+
+func (a *app) restore(b []byte) error {
+	if b == nil {
+		// Cold start: the crash predated any checkpoint commit.
+		a.applied = 0
+		a.store = nil
+		return nil
+	}
+	if len(b) < 8 {
+		return fmt.Errorf("corrupt committed state")
+	}
+	a.applied = binary.LittleEndian.Uint64(b)
+	arena, err := thynvm.RestoreArena(b[8:])
+	if err != nil {
+		return err
+	}
+	a.arena = arena
+	if a.isTree {
+		a.store, err = a.sys.OpenRBTree(headerAddr, a.arena)
+	} else {
+		a.store, err = a.sys.OpenHashTable(headerAddr, a.arena)
+	}
+	return err
+}
+
+func main() {
+	system := flag.String("system", "thynvm", "memory system")
+	tx := flag.Int("tx", 3000, "transactions before the crash")
+	storeKind := flag.String("store", "hash", "store type: hash or rbtree")
+	flag.Parse()
+
+	kind, err := thynvm.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := thynvm.DefaultOptions()
+	// The demo's working set is cache-resident, so scale the epoch down to
+	// get several checkpoints within the short simulated run.
+	opts.EpochLen = 10 * time.Microsecond
+	sys := thynvm.MustNewSystem(kind, opts)
+
+	a := &app{sys: sys, isTree: *storeKind == "rbtree"}
+	var arena *thynvm.KVArena
+	if a.isTree {
+		a.store, arena, err = sys.NewRBTree(headerAddr, 4096, 16<<20)
+	} else {
+		a.store, arena, err = sys.NewHashTable(headerAddr, 4096, 16<<20, 512)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a.arena = arena
+	sys.SetProgramState(a.save, a.restore)
+	// Program state is consistent only between transactions; take epoch
+	// boundaries there.
+	sys.DisableAutoCheckpoint()
+
+	// Model snapshots at every checkpoint, keyed by applied-tx count.
+	model := map[uint64][]byte{}
+	snapshots := map[uint64]map[uint64][]byte{}
+	sys.PreCheckpoint = func(*thynvm.Machine) {
+		snap := make(map[uint64][]byte, len(model))
+		for k, v := range model {
+			snap[k] = v
+		}
+		snapshots[a.applied] = snap
+	}
+
+	fmt.Printf("running %d transactions of an unmodified %s-based KV app on %s...\n",
+		*tx, *storeKind, kind)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < *tx; i++ {
+		k := uint64(rng.Intn(256))
+		switch rng.Intn(3) {
+		case 0:
+			v := make([]byte, 16+rng.Intn(240))
+			for j := range v {
+				v[j] = byte(int(k) + i + j)
+			}
+			if err := a.store.Put(k, v); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			model[k] = v
+		case 1:
+			a.store.Get(k)
+		case 2:
+			a.store.Delete(k)
+			delete(model, k)
+		}
+		a.applied++
+		sys.CheckpointIfDue()
+	}
+	fmt.Printf("executed %d transactions over %.3f ms simulated time (%d checkpoints)\n",
+		a.applied, sys.Now().Seconds()*1e3, sys.CheckpointCalls())
+
+	at := sys.Crash()
+	fmt.Printf("power failure injected at cycle %d — DRAM, caches and controller state lost\n", uint64(at))
+
+	had, err := sys.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recovery failed:", err)
+		os.Exit(1)
+	}
+	if !had {
+		fmt.Println("no checkpoint had committed; system restarted from the initial image")
+		return
+	}
+	fmt.Printf("recovered to epoch boundary at transaction %d\n", a.applied)
+
+	snap, ok := snapshots[a.applied]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "FAIL: recovered to an unknown transaction count")
+		os.Exit(1)
+	}
+	for k, want := range snap {
+		got, ok, err := a.store.Get(k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok || !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr, "FAIL: key %d diverges after recovery\n", k)
+			os.Exit(1)
+		}
+	}
+	n, _ := a.store.Len()
+	fmt.Printf("verified: all %d keys match the committed epoch snapshot exactly (store len %d)\n",
+		len(snap), n)
+	fmt.Println("OK — crash consistency held with zero application-side persistence code")
+}

@@ -1,0 +1,99 @@
+// Command thynvm-sim runs one workload on one memory system and prints the
+// measured result and controller statistics.
+//
+// Usage:
+//
+//	thynvm-sim -system thynvm -workload Random -ops 50000 -footprint 16777216
+//	thynvm-sim -system journal -workload lbm -ops 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thynvm"
+	"thynvm/internal/mem"
+	"thynvm/internal/trace"
+)
+
+func main() {
+	system := flag.String("system", "thynvm", "memory system: thynvm, idealdram, idealnvm, journal, shadow")
+	workload := flag.String("workload", "Random", "workload: Random, Streaming, Sliding, or a SPEC stand-in (gcc, lbm, ...)")
+	traceFile := flag.String("tracefile", "", "replay a text trace file instead of a generated workload (lines: 'R|W addr size [compute]')")
+	ops := flag.Int("ops", 50_000, "memory operations to simulate")
+	footprint := flag.Uint64("footprint", 16<<20, "workload footprint in bytes")
+	epoch := flag.Duration("epoch", 300*time.Microsecond, "checkpoint epoch length")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	kind, err := thynvm.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var g thynvm.Generator
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		g, err = trace.ReadOps(*traceFile, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		*workload = *traceFile
+	} else {
+		switch *workload {
+		case "Random":
+			g = thynvm.RandomWorkload(*footprint, *ops, *seed)
+		case "Streaming":
+			g = thynvm.StreamingWorkload(*footprint, *ops, *seed)
+		case "Sliding":
+			g = thynvm.SlidingWorkload(*footprint, *ops, *seed)
+		default:
+			g, err = thynvm.SPECWorkload(*workload, *footprint, *ops, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	opts := thynvm.DefaultOptions()
+	opts.EpochLen = *epoch
+	sys, err := thynvm.NewSystem(kind, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := sys.Run(g)
+	sys.Drain()
+	st := sys.Stats()
+
+	fmt.Printf("workload   : %s (%d ops, %d B footprint, seed %d)\n", res.Workload, res.Ops, *footprint, *seed)
+	fmt.Printf("system     : %s\n", res.System)
+	fmt.Printf("exec time  : %d cycles (%.3f ms simulated)\n", uint64(res.Cycles), res.Seconds()*1e3)
+	fmt.Printf("IPC        : %.3f  (%d instructions)\n", res.IPC, res.Instructions)
+	fmt.Printf("ckpt stall : %d cycles (%.2f%% of exec time, %d checkpoints)\n",
+		uint64(res.CkptStall), res.PctCkpt*100, res.Checkpoints)
+	fmt.Printf("mem stall  : %d cycles\n", uint64(res.MemStall))
+	fmt.Printf("NVM writes : %.2f MB  (CPU %.2f / checkpoint %.2f / migration %.2f)\n",
+		res.NVMWriteMB(), res.NVMWriteMBBy(mem.SrcCPU),
+		res.NVMWriteMBBy(mem.SrcCheckpoint), res.NVMWriteMBBy(mem.SrcMigration))
+	fmt.Printf("NVM reads  : %.2f MB\n", float64(st.NVM.BytesRead)/(1<<20))
+	fmt.Printf("DRAM write : %.2f MB\n", float64(st.DRAM.BytesWritten)/(1<<20))
+	fmt.Printf("epochs     : %d begun, %d committed\n", st.Epochs, st.Commits)
+	if st.MigrationsIn+st.MigrationsOut > 0 {
+		fmt.Printf("migrations : %d to page-writeback, %d to block-remapping\n",
+			st.MigrationsIn, st.MigrationsOut)
+	}
+	if st.PeakBTTLive+st.PeakPTTLive > 0 {
+		fmt.Printf("table peak : BTT %d, PTT %d entries (%d spills)\n",
+			st.PeakBTTLive, st.PeakPTTLive, st.TableSpills)
+	}
+}

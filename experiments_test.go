@@ -1,0 +1,171 @@
+package thynvm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thynvm"
+)
+
+// tinyScale shrinks ScaleSmall further for unit tests.
+func tinyScale() thynvm.Scale {
+	sc := thynvm.ScaleSmall()
+	sc.MicroOps = 1200
+	sc.MicroFootprint = 2 << 20
+	sc.KVTx = 300
+	sc.KVPreload = 100
+	sc.KVSizes = []int{64, 1024}
+	sc.SPECOps = 800
+	sc.BTTSweep = []int{256, 2048}
+	return sc
+}
+
+func TestRunMicroAndFigures(t *testing.T) {
+	mr, err := thynvm.RunMicro(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7 := mr.Fig7()
+	if len(f7.Rows) != 3 {
+		t.Fatalf("Fig7 rows = %d", len(f7.Rows))
+	}
+	// Ideal DRAM column must be exactly 1.000 (self-normalized).
+	for _, row := range f7.Rows {
+		if row[1] != "1.000" {
+			t.Errorf("Fig7 IdealDRAM column = %q", row[1])
+		}
+	}
+	f8 := mr.Fig8()
+	if len(f8.Rows) != 9 {
+		t.Fatalf("Fig8 rows = %d", len(f8.Rows))
+	}
+	out := f7.String() + f8.String()
+	if !strings.Contains(out, "Random") || !strings.Contains(out, "ThyNVM") {
+		t.Error("rendered tables missing expected labels")
+	}
+}
+
+func TestMicroShapes(t *testing.T) {
+	// The relationships the paper's Figure 7 depends on, at tiny scale.
+	mr, err := thynvm.RunMicro(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range thynvm.MicroNames() {
+		res := mr.Results[w]
+		dram := res[thynvm.SystemIdealDRAM].Cycles
+		thy := res[thynvm.SystemThyNVM].Cycles
+		if thy < dram {
+			t.Errorf("%s: ThyNVM (%d) beat Ideal DRAM (%d)?", w, thy, dram)
+		}
+	}
+	// ThyNVM checkpointing overhead must undercut the stop-the-world
+	// baselines on at least a majority of workloads.
+	wins := 0
+	for _, w := range thynvm.MicroNames() {
+		res := mr.Results[w]
+		if res[thynvm.SystemThyNVM].PctCkpt <= res[thynvm.SystemJournal].PctCkpt &&
+			res[thynvm.SystemThyNVM].PctCkpt <= res[thynvm.SystemShadow].PctCkpt {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("ThyNVM ckpt overhead lowest on only %d/3 workloads", wins)
+	}
+}
+
+func TestRunKVAndFigures(t *testing.T) {
+	kr, err := thynvm.RunKV(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, f10 := kr.Fig9(), kr.Fig10()
+	wantRows := len(thynvm.KVStoreNames()) * len(tinyScale().KVSizes)
+	if len(f9.Rows) != wantRows || len(f10.Rows) != wantRows {
+		t.Fatalf("rows: fig9=%d fig10=%d want %d", len(f9.Rows), len(f10.Rows), wantRows)
+	}
+	for _, r := range kr.Results {
+		if r.ThroughputKTPS <= 0 || r.SimSeconds <= 0 {
+			t.Errorf("degenerate result %+v", r)
+		}
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	tab, err := thynvm.RunFig11(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 8 benchmarks + average
+		t.Fatalf("Fig11 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunFig12(t *testing.T) {
+	tab, err := thynvm.RunFig12(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(tinyScale().BTTSweep) {
+		t.Fatalf("Fig12 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	tab, err := thynvm.RunTable1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Table1 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable2AndRendering(t *testing.T) {
+	tab := thynvm.Table2()
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "DDR3") {
+		t.Error("Table 2 missing DRAM config")
+	}
+	var csv strings.Builder
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "component,configuration") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestRunEpochSweep(t *testing.T) {
+	sc := tinyScale()
+	tab, err := thynvm.RunEpochSweep(sc, []time.Duration{50 * time.Microsecond, 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Longer epochs must not checkpoint more often.
+	if tab.Rows[0][4] < tab.Rows[1][4] {
+		t.Errorf("commit counts %s vs %s: longer epoch committed more", tab.Rows[0][4], tab.Rows[1][4])
+	}
+}
+
+func TestRunRecoveryLatency(t *testing.T) {
+	tab, err := thynvm.RunRecoveryLatency(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "true" {
+			t.Errorf("%s: recovery did not reach a committed snapshot", row[0])
+		}
+	}
+}

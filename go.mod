@@ -1,0 +1,3 @@
+module thynvm
+
+go 1.22

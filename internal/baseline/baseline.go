@@ -1,0 +1,76 @@
+// Package baseline implements the comparison systems of the ThyNVM
+// evaluation (§5.1):
+//
+//   - Ideal DRAM — a DRAM-only main memory assumed to provide crash
+//     consistency at no cost (the upper performance bound).
+//   - Ideal NVM — an NVM-only main memory with the same free-consistency
+//     assumption.
+//   - Journaling — a hybrid system with a redo journal: updated blocks are
+//     collected and coalesced in a DRAM buffer and, at the end of each
+//     epoch, written to an NVM backup region and committed before being
+//     applied in place (stop-the-world).
+//   - Shadow paging — a hybrid copy-on-write system: pages are copied into
+//     DRAM on first write; dirty pages are flushed to fresh NVM locations
+//     at epoch boundaries or when the DRAM buffer fills (stop-the-world).
+//
+// All implement ctl.Controller, so the harness can run identical workloads
+// over every system.
+package baseline
+
+import (
+	"fmt"
+
+	"thynvm/internal/mem"
+)
+
+// Config parameterizes the baseline systems.
+type Config struct {
+	// PhysBytes is the physical address space size.
+	PhysBytes uint64
+	// EpochLen is the checkpoint interval in cycles.
+	EpochLen mem.Cycle
+	// JournalEntries is the journaling dirty-block table capacity. The
+	// paper sizes it as the combined BTT+PTT entry count (2048+4096).
+	JournalEntries int
+	// DRAMPages is the shadow-paging DRAM buffer capacity in pages (the
+	// paper uses the same DRAM size as ThyNVM: 4096 pages = 16 MB).
+	DRAMPages int
+	// DRAM and NVM are device timing specs.
+	DRAM mem.DeviceSpec
+	NVM  mem.DeviceSpec
+}
+
+// DefaultConfig mirrors the paper's evaluated configuration.
+func DefaultConfig() Config {
+	return Config{
+		PhysBytes:      64 << 20,
+		EpochLen:       mem.FromNs(10_000_000),
+		JournalEntries: 2048 + 4096,
+		DRAMPages:      4096,
+		DRAM:           mem.DRAMSpec(),
+		NVM:            mem.NVMSpec(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PhysBytes == 0 || c.PhysBytes%mem.PageSize != 0 {
+		return fmt.Errorf("baseline: PhysBytes %d must be a positive multiple of the page size", c.PhysBytes)
+	}
+	if c.EpochLen == 0 {
+		return fmt.Errorf("baseline: EpochLen must be positive")
+	}
+	if c.JournalEntries <= 0 || c.DRAMPages <= 0 {
+		return fmt.Errorf("baseline: JournalEntries and DRAMPages must be positive")
+	}
+	return nil
+}
+
+func checkAccess(phys uint64, addr uint64, n int) {
+	if n != mem.BlockSize || addr%mem.BlockSize != 0 {
+		panic(fmt.Sprintf("baseline: access must be one aligned block (addr=%#x n=%d)", addr, n))
+	}
+	if addr+mem.BlockSize > phys {
+		panic(fmt.Sprintf("baseline: physical address %#x beyond configured space %#x", addr, phys))
+	}
+}

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Ideal is a single-device main memory that is *assumed* to provide crash
+// consistency at no cost — the paper's "Ideal DRAM" and "Ideal NVM" upper
+// bounds (§5.1). Checkpointing is free: a crash magically preserves the
+// latest memory image and the CPU state registered at the last checkpoint
+// boundary. It exists to measure the overhead of the real schemes against.
+type Ideal struct {
+	cfg      Config
+	dev      *mem.Device
+	name     string
+	epochSt  mem.Cycle
+	cpuState []byte
+	stats    ctl.Stats
+	anyWork  bool
+}
+
+var _ ctl.Controller = (*Ideal)(nil)
+
+// NewIdealDRAM builds the DRAM-only ideal system.
+func NewIdealDRAM(cfg Config) (*Ideal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.DRAM
+	spec.Volatile = false // idealized: contents survive by assumption
+	return &Ideal{cfg: cfg, dev: mem.NewDevice(spec), name: "Ideal DRAM"}, nil
+}
+
+// NewIdealNVM builds the NVM-only ideal system.
+func NewIdealNVM(cfg Config) (*Ideal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ideal{cfg: cfg, dev: mem.NewDevice(cfg.NVM), name: "Ideal NVM"}, nil
+}
+
+// Name identifies the system in reports.
+func (s *Ideal) Name() string { return s.name }
+
+// LoadHome pre-loads initial data, bypassing timing.
+func (s *Ideal) LoadHome(addr uint64, data []byte) { s.dev.Poke(addr, data) }
+
+// ReadBlock implements ctl.Controller.
+func (s *Ideal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	checkAccess(s.cfg.PhysBytes, addr, len(buf))
+	return s.dev.Read(now, addr, buf)
+}
+
+// WriteBlock implements ctl.Controller.
+func (s *Ideal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	checkAccess(s.cfg.PhysBytes, addr, len(data))
+	s.anyWork = true
+	return s.dev.Write(now, addr, data, mem.SrcCPU)
+}
+
+// CheckpointDue implements ctl.Controller: never. The paper's ideal
+// systems provide crash consistency at NO cost, so they must not trigger
+// epoch work (in particular not the harness's cache flush). Explicit
+// BeginCheckpoint calls still register CPU state for recovery semantics.
+func (s *Ideal) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
+	return false
+}
+
+// BeginCheckpoint implements ctl.Controller: free.
+func (s *Ideal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	s.cpuState = append([]byte(nil), cpuState...)
+	s.epochSt = now
+	s.anyWork = false
+	s.stats.Epochs++
+	s.stats.Commits++
+	return now
+}
+
+// DrainCheckpoint implements ctl.Controller: nothing drains.
+func (s *Ideal) DrainCheckpoint(now mem.Cycle) mem.Cycle { return now }
+
+// Crash implements ctl.Controller. The ideal assumption: even in-flight
+// writes persist (consistency at no cost).
+func (s *Ideal) Crash(at mem.Cycle) {
+	s.dev.Crash(mem.MaxCycle)
+}
+
+// Recover implements ctl.Controller: instantaneous, returns the CPU state
+// registered at the last checkpoint boundary.
+func (s *Ideal) Recover() ([]byte, mem.Cycle, error) {
+	return s.cpuState, 0, nil
+}
+
+// PeekBlock implements ctl.Controller.
+func (s *Ideal) PeekBlock(addr uint64, buf []byte) { s.dev.Peek(addr, buf) }
+
+// Stats implements ctl.Controller.
+func (s *Ideal) Stats() ctl.Stats {
+	st := s.stats
+	if s.dev.Spec().Name == "DRAM" {
+		st.DRAM = s.dev.Stats()
+	} else {
+		st.NVM = s.dev.Stats()
+	}
+	return st
+}
+
+// ResetStats implements ctl.Controller.
+func (s *Ideal) ResetStats() {
+	s.stats = ctl.Stats{}
+	s.dev.ResetStats()
+}

@@ -1,0 +1,253 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Journal is the paper's journaling baseline (§5.1): a redo journal for a
+// hybrid DRAM+NVM memory. A DRAM buffer collects and coalesces updated
+// blocks (its table is sized like ThyNVM's BTT+PTT combined). At the end of
+// each epoch the buffer is written to an NVM backup region and committed,
+// then applied in place — all stop-the-world, which is where journaling's
+// checkpointing overhead (Figure 8) comes from.
+type Journal struct {
+	cfg  Config
+	nvm  *mem.Device
+	dram *mem.Device
+
+	dirty     map[uint64]uint64 // physical block index -> DRAM slot address
+	dramBump  uint64
+	freeSlots []uint64
+
+	headerAddr [2]uint64
+	blobArea   [2]struct{ addr, size uint64 }
+	nvmBump    uint64
+	seq        uint64
+
+	epochSt  mem.Cycle
+	overflow bool
+	stats    ctl.Stats
+}
+
+var _ ctl.Controller = (*Journal)(nil)
+
+// NewJournal builds the journaling baseline.
+func NewJournal(cfg Config) (*Journal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		cfg:   cfg,
+		nvm:   mem.NewDevice(cfg.NVM),
+		dram:  mem.NewDevice(cfg.DRAM),
+		dirty: make(map[uint64]uint64),
+	}
+	j.headerAddr[0] = cfg.PhysBytes
+	j.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	j.nvmBump = cfg.PhysBytes + mem.PageSize
+	return j, nil
+}
+
+// Name identifies the system in reports.
+func (j *Journal) Name() string { return "Journal" }
+
+// LoadHome pre-loads initial data, bypassing timing.
+func (j *Journal) LoadHome(addr uint64, data []byte) { j.nvm.Poke(addr, data) }
+
+func (j *Journal) allocSlot() uint64 {
+	if n := len(j.freeSlots); n > 0 {
+		s := j.freeSlots[n-1]
+		j.freeSlots = j.freeSlots[:n-1]
+		return s
+	}
+	s := j.dramBump
+	j.dramBump += mem.BlockSize
+	return s
+}
+
+// ReadBlock implements ctl.Controller: buffered blocks are served from
+// DRAM, everything else from NVM home.
+func (j *Journal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	checkAccess(j.cfg.PhysBytes, addr, len(buf))
+	if slot, ok := j.dirty[mem.BlockIndex(addr)]; ok {
+		return j.dram.Read(now, slot, buf)
+	}
+	return j.nvm.Read(now, addr, buf)
+}
+
+// WriteBlock implements ctl.Controller: updates coalesce in the DRAM buffer.
+func (j *Journal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	checkAccess(j.cfg.PhysBytes, addr, len(data))
+	idx := mem.BlockIndex(addr)
+	slot, ok := j.dirty[idx]
+	if !ok {
+		slot = j.allocSlot()
+		j.dirty[idx] = slot
+		if len(j.dirty) >= j.cfg.JournalEntries {
+			j.overflow = true
+		}
+	}
+	return j.dram.Write(now, slot, data, mem.SrcCPU)
+}
+
+// CheckpointDue implements ctl.Controller.
+func (j *Journal) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
+	if j.overflow {
+		return true
+	}
+	if now < j.epochSt || now-j.epochSt < j.cfg.EpochLen {
+		return false
+	}
+	if len(j.dirty) == 0 && !cpuDirty {
+		j.epochSt = now
+		return false
+	}
+	return true
+}
+
+// BeginCheckpoint implements ctl.Controller. Journaling is stop-the-world:
+// the returned resume cycle is after the journal has been written,
+// committed, and applied in place.
+func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	start := now
+	// Serialize the redo journal: CPU state + (block, data) records, in
+	// deterministic block order.
+	idxs := make([]uint64, 0, len(j.dirty))
+	for idx := range j.dirty {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+
+	blob := make([]byte, 0, 16+len(cpuState)+len(idxs)*(8+mem.BlockSize))
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		blob = append(blob, u64[:]...)
+	}
+	put(uint64(len(cpuState)))
+	blob = append(blob, cpuState...)
+	put(uint64(len(idxs)))
+	var blockBuf [mem.BlockSize]byte
+	rdMax := now
+	for _, idx := range idxs {
+		rd := j.dram.Read(now, j.dirty[idx], blockBuf[:])
+		if rd > rdMax {
+			rdMax = rd
+		}
+		put(idx)
+		blob = append(blob, blockBuf[:]...)
+	}
+
+	// Write journal blob to the backup region, then the commit header.
+	area := &j.blobArea[j.seq%2]
+	if uint64(len(blob)) > area.size {
+		need := (uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		area.addr = j.nvmBump
+		area.size = need
+		j.nvmBump += need
+	}
+	_, blobDone := j.nvm.WriteAt(now, rdMax, area.addr, blob, mem.SrcCheckpoint)
+	header := encodeHeader(j.seq, area.addr, uint64(len(blob)), fnv64(blob))
+	_, commitDone := j.nvm.WriteAt(now, blobDone, j.headerAddr[j.seq%2], header, mem.SrcCheckpoint)
+	j.seq++
+
+	// Apply in place (redo), ordered after the commit.
+	applyDone := commitDone
+	off := 8 + len(cpuState) + 8
+	for _, idx := range idxs {
+		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
+		_, d := j.nvm.WriteAt(now, commitDone, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		if d > applyDone {
+			applyDone = d
+		}
+		off += 8 + mem.BlockSize
+		j.freeSlots = append(j.freeSlots, j.dirty[idx])
+	}
+	j.dirty = make(map[uint64]uint64)
+	j.overflow = false
+
+	// Stop-the-world: execution resumes when everything is durable.
+	j.stats.Epochs++
+	j.stats.Commits++
+	j.stats.CkptBusy += applyDone - start
+	j.epochSt = applyDone
+	return applyDone
+}
+
+// DrainCheckpoint implements ctl.Controller: checkpoints are synchronous,
+// so nothing is ever draining.
+func (j *Journal) DrainCheckpoint(now mem.Cycle) mem.Cycle { return now }
+
+// Crash implements ctl.Controller.
+func (j *Journal) Crash(at mem.Cycle) {
+	j.nvm.Crash(at)
+	j.dram.Crash(at)
+	j.dirty = make(map[uint64]uint64)
+	j.freeSlots = nil
+	j.dramBump = 0
+	j.overflow = false
+	j.blobArea = [2]struct{ addr, size uint64 }{}
+	j.nvmBump = j.cfg.PhysBytes + mem.PageSize
+	j.seq = 0
+}
+
+// Recover implements ctl.Controller: redo the newest committed journal over
+// the home region (idempotent — a crash mid-apply is repaired by replay).
+func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
+	best, blob, t, ok := readBestCommit(j.nvm, 0, j.headerAddr)
+	if !ok {
+		j.epochSt = t
+		return nil, t, nil
+	}
+	cpuLen := binary.LittleEndian.Uint64(blob[0:])
+	cpuState := append([]byte(nil), blob[8:8+cpuLen]...)
+	off := 8 + int(cpuLen)
+	n := binary.LittleEndian.Uint64(blob[off:])
+	off += 8
+	var blockBuf [mem.BlockSize]byte
+	for i := uint64(0); i < n; i++ {
+		idx := binary.LittleEndian.Uint64(blob[off:])
+		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
+		t = j.nvm.Write(t, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		off += 8 + mem.BlockSize
+	}
+	t = j.nvm.Flush(t)
+	// Future journal areas must not clobber the surviving commit.
+	if end := best.blobAddr + best.blobLen; end > j.nvmBump {
+		j.nvmBump = (end + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	}
+	j.seq = best.seq + 1
+	j.epochSt = t
+	return cpuState, t, nil
+}
+
+// PeekBlock implements ctl.Controller.
+func (j *Journal) PeekBlock(addr uint64, buf []byte) {
+	if slot, ok := j.dirty[mem.BlockIndex(addr)]; ok {
+		j.dram.Peek(slot, buf)
+		return
+	}
+	j.nvm.Peek(addr, buf)
+}
+
+// Stats implements ctl.Controller.
+func (j *Journal) Stats() ctl.Stats {
+	st := j.stats
+	st.NVM = j.nvm.Stats()
+	st.DRAM = j.dram.Stats()
+	if uint64(len(j.dirty)) > st.PeakBTTLive {
+		st.PeakBTTLive = uint64(len(j.dirty))
+	}
+	return st
+}
+
+// ResetStats implements ctl.Controller.
+func (j *Journal) ResetStats() {
+	j.stats = ctl.Stats{}
+	j.nvm.ResetStats()
+	j.dram.ResetStats()
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"encoding/binary"
+
+	"thynvm/internal/mem"
+)
+
+// Shared commit-record machinery for the journaling and shadow-paging
+// baselines: a payload blob in a ping-pong NVM area plus a checksummed
+// 64-byte header, newest-valid-wins on recovery (the same robust commit
+// primitive the ThyNVM controller uses).
+
+const (
+	blMagic    = 0x42415345484d4452 // "BASEHMDR"
+	headerSize = mem.BlockSize
+)
+
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func encodeHeader(seq, blobAddr, blobLen, blobSum uint64) []byte {
+	h := make([]byte, headerSize)
+	binary.LittleEndian.PutUint64(h[0:], blMagic)
+	binary.LittleEndian.PutUint64(h[8:], seq)
+	binary.LittleEndian.PutUint64(h[16:], blobAddr)
+	binary.LittleEndian.PutUint64(h[24:], blobLen)
+	binary.LittleEndian.PutUint64(h[32:], blobSum)
+	binary.LittleEndian.PutUint64(h[40:], fnv64(h[:40]))
+	return h
+}
+
+type commitHeader struct {
+	seq      uint64
+	blobAddr uint64
+	blobLen  uint64
+	blobSum  uint64
+}
+
+func decodeHeader(b []byte) (commitHeader, bool) {
+	if len(b) < headerSize || binary.LittleEndian.Uint64(b[0:]) != blMagic {
+		return commitHeader{}, false
+	}
+	if binary.LittleEndian.Uint64(b[40:]) != fnv64(b[:40]) {
+		return commitHeader{}, false
+	}
+	return commitHeader{
+		seq:      binary.LittleEndian.Uint64(b[8:]),
+		blobAddr: binary.LittleEndian.Uint64(b[16:]),
+		blobLen:  binary.LittleEndian.Uint64(b[24:]),
+		blobSum:  binary.LittleEndian.Uint64(b[32:]),
+	}, true
+}
+
+// readBestCommit reads both header slots (timed) and returns the newest
+// valid header with its blob, or ok=false if none committed.
+func readBestCommit(nvm *mem.Device, t mem.Cycle, headerAddr [2]uint64) (commitHeader, []byte, mem.Cycle, bool) {
+	var best commitHeader
+	var bestBlob []byte
+	ok := false
+	for i := 0; i < 2; i++ {
+		hbuf := make([]byte, headerSize)
+		t = nvm.Read(t, headerAddr[i], hbuf)
+		h, valid := decodeHeader(hbuf)
+		if !valid {
+			continue
+		}
+		blob := make([]byte, h.blobLen)
+		t = nvm.Read(t, h.blobAddr, blob)
+		if fnv64(blob) != h.blobSum {
+			continue
+		}
+		if !ok || h.seq > best.seq {
+			best = h
+			bestBlob = blob
+			ok = true
+		}
+	}
+	return best, bestBlob, t, ok
+}

@@ -1,0 +1,360 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Shadow is the paper's shadow-paging baseline (§5.1): copy-on-write at
+// page granularity. The first store to a page copies it from NVM into a
+// DRAM buffer page (the CoW cost, on the critical path); subsequent stores
+// hit DRAM. When the DRAM buffer fills or the epoch ends, dirty pages are
+// flushed to fresh NVM locations (never overwriting the committed copy) and
+// a page table is committed atomically — stop-the-world. Its pathology,
+// which Figure 8 highlights under Random, is writing whole pages even when
+// only a few blocks are dirty.
+type Shadow struct {
+	cfg  Config
+	nvm  *mem.Device
+	dram *mem.Device
+
+	pages    map[uint64]*shadowPage
+	dramBump uint64
+	freeDRAM []uint64
+
+	headerAddr [2]uint64
+	blobArea   [2]struct{ addr, size uint64 }
+	nvmBump    uint64
+	seq        uint64
+
+	epochSt  mem.Cycle
+	lastCPU  []byte // CPU state of the most recent epoch checkpoint
+	overflow bool
+	stats    ctl.Stats
+}
+
+type shadowPage struct {
+	phys      uint64
+	dramAddr  uint64 // DRAM buffer slot, or noSlot when not buffered
+	homeAddr  uint64
+	committed uint64 // NVM address of the committed copy (home or a slot)
+	shadowA   uint64 // two NVM slots the page's flushes alternate between
+	shadowB   uint64
+	dirty     bool
+}
+
+var _ ctl.Controller = (*Shadow)(nil)
+
+// NewShadow builds the shadow-paging baseline.
+func NewShadow(cfg Config) (*Shadow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Shadow{
+		cfg:   cfg,
+		nvm:   mem.NewDevice(cfg.NVM),
+		dram:  mem.NewDevice(cfg.DRAM),
+		pages: make(map[uint64]*shadowPage),
+	}
+	s.headerAddr[0] = cfg.PhysBytes
+	s.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	s.nvmBump = cfg.PhysBytes + mem.PageSize
+	return s, nil
+}
+
+// Name identifies the system in reports.
+func (s *Shadow) Name() string { return "Shadow" }
+
+// LoadHome pre-loads initial data, bypassing timing.
+func (s *Shadow) LoadHome(addr uint64, data []byte) { s.nvm.Poke(addr, data) }
+
+func (s *Shadow) allocDRAMPage() (uint64, bool) {
+	if n := len(s.freeDRAM); n > 0 {
+		a := s.freeDRAM[n-1]
+		s.freeDRAM = s.freeDRAM[:n-1]
+		return a, true
+	}
+	if s.dramBump/mem.PageSize >= uint64(s.cfg.DRAMPages) {
+		return 0, false
+	}
+	a := s.dramBump
+	s.dramBump += mem.PageSize
+	return a, true
+}
+
+func (s *Shadow) allocShadowSlot() uint64 {
+	a := s.nvmBump
+	s.nvmBump += mem.PageSize
+	return a
+}
+
+func (s *Shadow) sortedPages() []*shadowPage {
+	out := make([]*shadowPage, 0, len(s.pages))
+	for _, p := range s.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+	return out
+}
+
+// ReadBlock implements ctl.Controller: DRAM if buffered, else the committed
+// NVM copy.
+func (s *Shadow) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	checkAccess(s.cfg.PhysBytes, addr, len(buf))
+	pageIdx := mem.PageIndex(addr)
+	off := addr % mem.PageSize
+	if p, ok := s.pages[pageIdx]; ok && p.dramAddr != noSlot {
+		return s.dram.Read(now, p.dramAddr+off, buf)
+	}
+	if p, ok := s.pages[pageIdx]; ok {
+		return s.nvm.Read(now, p.committed+off, buf)
+	}
+	return s.nvm.Read(now, addr, buf)
+}
+
+const noSlot = ^uint64(0)
+
+// WriteBlock implements ctl.Controller: copy-on-write into the DRAM buffer.
+func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	checkAccess(s.cfg.PhysBytes, addr, len(data))
+	pageIdx := mem.PageIndex(addr)
+	off := addr % mem.PageSize
+	p, ok := s.pages[pageIdx]
+	if !ok {
+		p = &shadowPage{
+			phys:      pageIdx,
+			dramAddr:  noSlot,
+			homeAddr:  pageIdx * mem.PageSize,
+			committed: pageIdx * mem.PageSize,
+			shadowA:   s.allocShadowSlot(),
+			shadowB:   s.allocShadowSlot(),
+		}
+		s.pages[pageIdx] = p
+	}
+	if p.dramAddr == noSlot {
+		// Copy-on-write: bring the committed page into DRAM before the
+		// store can proceed — this copy is on the critical path.
+		slot, ok := s.allocDRAMPage()
+		if !ok {
+			// DRAM buffer full: evict a clean buffered page if one
+			// exists; otherwise flush dirty pages (stop-the-world, with
+			// the CPU state of the last epoch boundary) and retry.
+			if !s.evictClean() {
+				now = s.flush(now, s.lastCPU, true)
+				if !s.evictClean() {
+					panic("baseline: shadow DRAM buffer still full after flush")
+				}
+			}
+			slot, ok = s.allocDRAMPage()
+			if !ok {
+				panic("baseline: shadow DRAM slot missing after eviction")
+			}
+		}
+		var pageBuf [mem.PageSize]byte
+		rd := s.nvm.Read(now, p.committed, pageBuf[:])
+		now = s.dram.Write(rd, slot, pageBuf[:], mem.SrcCPU)
+		p.dramAddr = slot
+	}
+	p.dirty = true
+	if uint64(len(s.pages)) > s.stats.PeakPTTLive {
+		s.stats.PeakPTTLive = uint64(len(s.pages))
+	}
+	if s.dramBump/mem.PageSize >= uint64(s.cfg.DRAMPages) && len(s.freeDRAM) == 0 {
+		s.overflow = true // ask for an epoch-boundary flush before we force one
+	}
+	return s.dram.Write(now, p.dramAddr+off, data, mem.SrcCPU)
+}
+
+// flush writes every dirty page to its alternate shadow slot, commits the
+// page table, and (stop-the-world) returns when everything is durable.
+// Buffered pages are evicted (their DRAM slots freed) to make room.
+func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle {
+	start := now
+	maxDone := now
+	var pageBuf [mem.PageSize]byte
+	dirty := s.sortedPages()
+	for _, p := range dirty {
+		if !p.dirty || p.dramAddr == noSlot {
+			continue
+		}
+		target := p.shadowA
+		if p.committed == p.shadowA {
+			target = p.shadowB
+		}
+		rd := s.dram.Read(now, p.dramAddr, pageBuf[:])
+		_, done := s.nvm.WriteAt(now, rd, target, pageBuf[:], mem.SrcCheckpoint)
+		if done > maxDone {
+			maxDone = done
+		}
+		p.committed = target // staged; becomes real at commit (synchronous)
+		p.dirty = false
+	}
+	// Commit the page table.
+	blob := make([]byte, 0, 16+len(cpuState)+len(s.pages)*16)
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		blob = append(blob, u64[:]...)
+	}
+	put(uint64(len(cpuState)))
+	blob = append(blob, cpuState...)
+	entries := 0
+	for _, p := range s.sortedPages() {
+		if p.committed != p.homeAddr {
+			entries++
+		}
+	}
+	put(uint64(entries))
+	for _, p := range s.sortedPages() {
+		if p.committed != p.homeAddr {
+			put(p.phys)
+			put(p.committed)
+		}
+	}
+	area := &s.blobArea[s.seq%2]
+	if uint64(len(blob)) > area.size {
+		need := (uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		area.addr = s.nvmBump
+		area.size = need
+		s.nvmBump += need
+	}
+	_, blobDone := s.nvm.WriteAt(now, maxDone, area.addr, blob, mem.SrcCheckpoint)
+	header := encodeHeader(s.seq, area.addr, uint64(len(blob)), fnv64(blob))
+	_, commitDone := s.nvm.WriteAt(now, blobDone, s.headerAddr[s.seq%2], header, mem.SrcCheckpoint)
+	s.seq++
+
+	s.stats.Commits++
+	if ckptStall {
+		s.stats.CkptStall += commitDone - start
+	}
+	s.stats.CkptBusy += commitDone - start
+	return commitDone
+}
+
+// evictClean frees the DRAM slot of one clean buffered page (lowest page
+// index first, for determinism). It reports whether a page was evicted.
+func (s *Shadow) evictClean() bool {
+	for _, p := range s.sortedPages() {
+		if p.dramAddr != noSlot && !p.dirty {
+			s.freeDRAM = append(s.freeDRAM, p.dramAddr)
+			p.dramAddr = noSlot
+			return true
+		}
+	}
+	return false
+}
+
+// CheckpointDue implements ctl.Controller.
+func (s *Shadow) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
+	if s.overflow {
+		s.overflow = false
+		return true
+	}
+	if now < s.epochSt || now-s.epochSt < s.cfg.EpochLen {
+		return false
+	}
+	if cpuDirty {
+		return true
+	}
+	for _, p := range s.pages {
+		if p.dirty {
+			return true
+		}
+	}
+	s.epochSt = now
+	return false
+}
+
+// BeginCheckpoint implements ctl.Controller: stop-the-world flush + commit.
+func (s *Shadow) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	s.lastCPU = append([]byte(nil), cpuState...)
+	done := s.flush(now, s.lastCPU, false)
+	s.stats.Epochs++
+	s.epochSt = done
+	return done
+}
+
+// DrainCheckpoint implements ctl.Controller: flushes are synchronous.
+func (s *Shadow) DrainCheckpoint(now mem.Cycle) mem.Cycle { return now }
+
+// Crash implements ctl.Controller.
+func (s *Shadow) Crash(at mem.Cycle) {
+	s.nvm.Crash(at)
+	s.dram.Crash(at)
+	s.pages = make(map[uint64]*shadowPage)
+	s.freeDRAM = nil
+	s.dramBump = 0
+	s.lastCPU = nil
+	s.overflow = false
+	s.blobArea = [2]struct{ addr, size uint64 }{}
+	s.nvmBump = s.cfg.PhysBytes + mem.PageSize
+	s.seq = 0
+}
+
+// Recover implements ctl.Controller: consolidate committed shadow copies
+// into the home region.
+func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
+	best, blob, t, ok := readBestCommit(s.nvm, 0, s.headerAddr)
+	if !ok {
+		s.epochSt = t
+		return nil, t, nil
+	}
+	cpuLen := binary.LittleEndian.Uint64(blob[0:])
+	cpuState := append([]byte(nil), blob[8:8+cpuLen]...)
+	off := 8 + int(cpuLen)
+	n := binary.LittleEndian.Uint64(blob[off:])
+	off += 8
+	var pageBuf [mem.PageSize]byte
+	maxEnd := s.nvmBump
+	for i := uint64(0); i < n; i++ {
+		phys := binary.LittleEndian.Uint64(blob[off:])
+		slot := binary.LittleEndian.Uint64(blob[off+8:])
+		off += 16
+		rd := s.nvm.Read(t, slot, pageBuf[:])
+		t = s.nvm.Write(rd, phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
+		if end := slot + mem.PageSize; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	t = s.nvm.Flush(t)
+	if end := best.blobAddr + best.blobLen; end > maxEnd {
+		maxEnd = end
+	}
+	s.nvmBump = (maxEnd + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	s.seq = best.seq + 1
+	s.epochSt = t
+	return cpuState, t, nil
+}
+
+// PeekBlock implements ctl.Controller.
+func (s *Shadow) PeekBlock(addr uint64, buf []byte) {
+	pageIdx := mem.PageIndex(addr)
+	off := addr % mem.PageSize
+	if p, ok := s.pages[pageIdx]; ok {
+		if p.dramAddr != noSlot {
+			s.dram.Peek(p.dramAddr+off, buf)
+			return
+		}
+		s.nvm.Peek(p.committed+off, buf)
+		return
+	}
+	s.nvm.Peek(addr, buf)
+}
+
+// Stats implements ctl.Controller.
+func (s *Shadow) Stats() ctl.Stats {
+	st := s.stats
+	st.NVM = s.nvm.Stats()
+	st.DRAM = s.dram.Stats()
+	return st
+}
+
+// ResetStats implements ctl.Controller.
+func (s *Shadow) ResetStats() {
+	s.stats = ctl.Stats{}
+	s.nvm.ResetStats()
+	s.dram.ResetStats()
+}

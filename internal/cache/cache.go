@@ -1,0 +1,373 @@
+// Package cache implements the CPU cache hierarchy of the simulated system:
+// set-associative write-back caches with LRU replacement, byte-accurate
+// contents and dirty-block tracking.
+//
+// The hierarchy matters to ThyNVM for two reasons. First, it filters the
+// memory traffic that reaches the memory controller, which is where the
+// paper's consistency schemes live. Second, its dirty blocks are volatile
+// state that the checkpointing phase must flush to the memory system
+// (the paper's hardware-assisted "data flush", §4.4); blocks are cleaned
+// but not invalidated, mirroring Intel CLWB semantics.
+//
+// Geometry defaults follow Table 2 of the paper: L1 32 KB 8-way (4-cycle
+// hit), L2 256 KB 8-way (12-cycle hit), L3 2 MB 16-way (28-cycle hit),
+// all with 64 B blocks.
+package cache
+
+import (
+	"fmt"
+
+	"thynvm/internal/mem"
+)
+
+// Backend is the memory system beneath the cache hierarchy. Addresses are
+// physical and block-aligned; buffers are exactly one block long.
+// ReadBlock returns the completion cycle of the read; WriteBlock returns
+// the cycle at which the issuer may proceed (writes may be posted).
+type Backend interface {
+	ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle
+	WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle
+}
+
+// LevelSpec describes one cache level.
+type LevelSpec struct {
+	Name   string
+	SizeB  int       // total capacity in bytes
+	Ways   int       // associativity
+	HitLat mem.Cycle // access latency on hit (also charged on the miss path)
+}
+
+// L1Spec returns the paper's L1: private 32 KB, 8-way, 4-cycle hit.
+func L1Spec() LevelSpec { return LevelSpec{Name: "L1", SizeB: 32 << 10, Ways: 8, HitLat: 4} }
+
+// L2Spec returns the paper's L2: private 256 KB, 8-way, 12-cycle hit.
+func L2Spec() LevelSpec { return LevelSpec{Name: "L2", SizeB: 256 << 10, Ways: 8, HitLat: 12} }
+
+// L3Spec returns the paper's L3: 2 MB per core, 16-way, 28-cycle hit.
+func L3Spec() LevelSpec { return LevelSpec{Name: "L3", SizeB: 2 << 20, Ways: 16, HitLat: 28} }
+
+// LevelStats counts events at one cache level.
+type LevelStats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions pushed to the level below
+	Flushed    uint64 // dirty blocks cleaned by FlushDirty
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	data    []byte
+}
+
+type level struct {
+	spec  LevelSpec
+	sets  [][]line
+	nsets uint64
+	stats LevelStats
+}
+
+func newLevel(spec LevelSpec) *level {
+	nsets := spec.SizeB / (spec.Ways * mem.BlockSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	l := &level{spec: spec, nsets: uint64(nsets)}
+	l.sets = make([][]line, nsets)
+	for i := range l.sets {
+		ways := make([]line, spec.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, mem.BlockSize)
+		}
+		l.sets[i] = ways
+	}
+	return l
+}
+
+func (l *level) setOf(block uint64) []line { return l.sets[block%l.nsets] }
+
+// lookup returns the way holding block, or nil.
+func (l *level) lookup(block uint64) *line {
+	set := l.setOf(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim picks the replacement way in block's set: an invalid way if one
+// exists, else the LRU way.
+func (l *level) victim(block uint64) *line {
+	set := l.setOf(block)
+	var v *line
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if v == nil || set[i].lastUse < v.lastUse {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// Hierarchy is a multi-level write-back, write-allocate cache hierarchy in
+// front of a Backend.
+type Hierarchy struct {
+	levels []*level
+	back   Backend
+	tick   uint64
+	dirty  int // dirty lines across all levels, maintained incrementally
+}
+
+// NewHierarchy builds a hierarchy with the given level specs (outermost
+// last) on top of back. With no specs the hierarchy is a transparent
+// pass-through to the backend.
+func NewHierarchy(back Backend, specs ...LevelSpec) *Hierarchy {
+	h := &Hierarchy{back: back}
+	for _, s := range specs {
+		if s.Ways <= 0 || s.SizeB < s.Ways*mem.BlockSize {
+			panic(fmt.Sprintf("cache: invalid level spec %+v", s))
+		}
+		h.levels = append(h.levels, newLevel(s))
+	}
+	return h
+}
+
+// Default returns the paper's three-level hierarchy over back.
+func Default(back Backend) *Hierarchy {
+	return NewHierarchy(back, L1Spec(), L2Spec(), L3Spec())
+}
+
+// Stats returns per-level statistics keyed by level name, in order.
+func (h *Hierarchy) Stats() []struct {
+	Name string
+	LevelStats
+} {
+	out := make([]struct {
+		Name string
+		LevelStats
+	}, len(h.levels))
+	for i, l := range h.levels {
+		out[i].Name = l.spec.Name
+		out[i].LevelStats = l.stats
+	}
+	return out
+}
+
+// DirtyBlocks returns the number of dirty lines across all levels (volatile
+// state that a checkpoint flush would have to write down). O(1).
+func (h *Hierarchy) DirtyBlocks() int { return h.dirty }
+
+// setDirty transitions a line's dirty bit, keeping the global counter.
+func (h *Hierarchy) setDirty(ln *line, d bool) {
+	if ln.dirty == d {
+		return
+	}
+	ln.dirty = d
+	if d {
+		h.dirty++
+	} else {
+		h.dirty--
+	}
+}
+
+// fillFrom fetches block (block index) into level li and all levels above,
+// returning the completion cycle and the line now in level li... The fetch
+// recurses to lower levels or the backend on miss. Evicted dirty victims
+// are written to the level below (or the backend).
+func (h *Hierarchy) fetch(now mem.Cycle, li int, block uint64, buf []byte) mem.Cycle {
+	if li == len(h.levels) {
+		return h.back.ReadBlock(now, block*mem.BlockSize, buf)
+	}
+	l := h.levels[li]
+	now += l.spec.HitLat
+	if ln := l.lookup(block); ln != nil {
+		l.stats.Hits++
+		h.tick++
+		ln.lastUse = h.tick
+		copy(buf, ln.data)
+		return now
+	}
+	l.stats.Misses++
+	done := h.fetch(now, li+1, block, buf)
+	h.install(done, li, block, buf, false)
+	return done
+}
+
+// install places data for block into level li, evicting as needed.
+// The victim's writeback is charged at cycle now.
+func (h *Hierarchy) install(now mem.Cycle, li int, block uint64, data []byte, dirty bool) {
+	l := h.levels[li]
+	v := l.victim(block)
+	if v.valid && v.dirty {
+		l.stats.Writebacks++
+		h.setDirty(v, false)
+		h.writeBelow(now, li, v.tag, v.data)
+	}
+	v.valid = true
+	h.setDirty(v, dirty)
+	v.tag = block
+	h.tick++
+	v.lastUse = h.tick
+	copy(v.data, data)
+}
+
+// writeBelow delivers a dirty block evicted from level li to level li+1
+// (updating in place if present, else installing) or to the backend.
+func (h *Hierarchy) writeBelow(now mem.Cycle, li int, block uint64, data []byte) {
+	for lj := li + 1; lj < len(h.levels); lj++ {
+		l := h.levels[lj]
+		if ln := l.lookup(block); ln != nil {
+			copy(ln.data, data)
+			h.setDirty(ln, true)
+			h.tick++
+			ln.lastUse = h.tick
+			return
+		}
+	}
+	// Not present anywhere below: write back to memory. (We do not
+	// allocate in lower levels on eviction; this keeps the hierarchy
+	// simple and slightly exclusive, which does not affect the
+	// consistency schemes under study.)
+	h.back.WriteBlock(now, block*mem.BlockSize, data)
+}
+
+// Read performs a timed read of len(buf) bytes at addr. The range must not
+// cross a cache-block boundary.
+func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	if err := checkRange(addr, len(buf)); err != nil {
+		panic(err)
+	}
+	if len(h.levels) == 0 {
+		blk := make([]byte, mem.BlockSize)
+		done := h.back.ReadBlock(now, mem.BlockAlign(addr), blk)
+		copy(buf, blk[addr-mem.BlockAlign(addr):])
+		return done
+	}
+	block := mem.BlockIndex(addr)
+	blk := make([]byte, mem.BlockSize)
+	done := h.fetch(now, 0, block, blk)
+	copy(buf, blk[addr%mem.BlockSize:])
+	return done
+}
+
+// Write performs a timed write of data at addr (write-allocate, write-back).
+// The range must not cross a cache-block boundary.
+func (h *Hierarchy) Write(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	if err := checkRange(addr, len(data)); err != nil {
+		panic(err)
+	}
+	if len(h.levels) == 0 {
+		// No caches: read-modify-write the block directly in memory.
+		base := mem.BlockAlign(addr)
+		blk := make([]byte, mem.BlockSize)
+		done := h.back.ReadBlock(now, base, blk)
+		copy(blk[addr-base:], data)
+		return h.back.WriteBlock(done, base, blk)
+	}
+	block := mem.BlockIndex(addr)
+	l1 := h.levels[0]
+	now += l1.spec.HitLat
+	ln := l1.lookup(block)
+	if ln == nil {
+		// Write-allocate: fetch the block, then modify in L1.
+		l1.stats.Misses++
+		blk := make([]byte, mem.BlockSize)
+		done := h.fetch(now, 1, block, blk)
+		h.install(done, 0, block, blk, false)
+		ln = l1.lookup(block)
+		now = done
+	} else {
+		l1.stats.Hits++
+	}
+	copy(ln.data[addr%mem.BlockSize:], data)
+	h.setDirty(ln, true)
+	h.tick++
+	ln.lastUse = h.tick
+	return now
+}
+
+func checkRange(addr uint64, n int) error {
+	if n <= 0 || n > mem.BlockSize {
+		return fmt.Errorf("cache: access size %d out of range", n)
+	}
+	if mem.BlockAlign(addr) != mem.BlockAlign(addr+uint64(n)-1) {
+		return fmt.Errorf("cache: access at %#x size %d crosses a block boundary", addr, n)
+	}
+	return nil
+}
+
+// FlushDirty writes every dirty block in the hierarchy down to the backend
+// and marks the lines clean without invalidating them (CLWB-like, as the
+// paper specifies to preserve locality after a checkpoint). It returns the
+// cycle at which the last flush write was issued and the number of blocks
+// flushed. perBlockIssue is the pipeline cost charged to issue each flush.
+func (h *Hierarchy) FlushDirty(now mem.Cycle, perBlockIssue mem.Cycle) (mem.Cycle, int) {
+	flushed := 0
+	// Upper levels hold the newest data; flushing a block from an upper
+	// level supersedes stale dirty copies below, so clean those too.
+	for li, l := range h.levels {
+		for si := range l.sets {
+			set := l.sets[si]
+			for wi := range set {
+				ln := &set[wi]
+				if !ln.valid || !ln.dirty {
+					continue
+				}
+				now += perBlockIssue
+				now = h.back.WriteBlock(now, ln.tag*mem.BlockSize, ln.data)
+				h.setDirty(ln, false)
+				l.stats.Flushed++
+				flushed++
+				h.syncBelow(li, ln.tag, ln.data)
+			}
+		}
+	}
+	return now, flushed
+}
+
+// syncBelow refreshes copies of block in levels below li with the just-
+// flushed data and cleans them. Leaving them stale would let a later
+// lower-level hit (after the upper copy is silently evicted) serve old
+// data.
+func (h *Hierarchy) syncBelow(li int, block uint64, data []byte) {
+	for lj := li + 1; lj < len(h.levels); lj++ {
+		if ln := h.levels[lj].lookup(block); ln != nil {
+			copy(ln.data, data)
+			h.setDirty(ln, false)
+		}
+	}
+}
+
+// PeekOverlay overlays the hierarchy's cached copy of the block at base
+// (block-aligned) onto buf, if any level holds it, without disturbing
+// timing or replacement state. Upper levels hold the newest data, so the
+// first hit wins. Verification-only.
+func (h *Hierarchy) PeekOverlay(base uint64, buf []byte) {
+	block := base / mem.BlockSize
+	for _, l := range h.levels {
+		if ln := l.lookup(block); ln != nil {
+			copy(buf, ln.data)
+			return
+		}
+	}
+}
+
+// InvalidateAll drops all cached state (a crash: caches are volatile).
+func (h *Hierarchy) InvalidateAll() {
+	for _, l := range h.levels {
+		for si := range l.sets {
+			set := l.sets[si]
+			for wi := range set {
+				set[wi].valid = false
+				set[wi].dirty = false
+			}
+		}
+	}
+	h.dirty = 0
+}

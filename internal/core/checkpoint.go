@@ -1,0 +1,484 @@
+package core
+
+import (
+	"sort"
+
+	"thynvm/internal/mem"
+)
+
+// CheckpointDue implements ctl.Controller: the epoch timer has expired or a
+// table is near overflow, and no previous checkpoint is still draining.
+func (c *Controller) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
+	c.sync(now)
+	if c.ckptInFlight {
+		return false
+	}
+	if c.overflowReq {
+		return true
+	}
+	if now < c.epochStart || now-c.epochStart < c.cfg.EpochLen {
+		return false
+	}
+	if !cpuDirty && !c.hasWork() {
+		// Nothing to checkpoint anywhere: slide the epoch forward for free.
+		c.epochStart = now
+		return false
+	}
+	return true
+}
+
+// hasWork reports whether a checkpoint would have anything to do.
+func (c *Controller) hasWork() bool {
+	for _, e := range c.blocks {
+		if e.active != activeNone || e.dying || e.overlay {
+			return true
+		}
+	}
+	for _, e := range c.pages {
+		if e.dirty || e.dying || e.remapActive {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginCheckpoint implements ctl.Controller. The caller has already stalled
+// the CPU and flushed dirty cache blocks through WriteBlock. It ends the
+// running epoch: working copies are staged as the next checkpoint (buffered
+// blocks and dirty pages are posted to NVM, metadata is serialized, and a
+// commit header ordered after all of it). Execution resumes at the returned
+// cycle while the checkpoint drains in the background; the commit applies at
+// c.commitDone (observed through sync).
+//
+// The paper's checkpointing order (Figure 6b) is preserved: (1) buffered
+// working blocks from DRAM to NVM, (2) BTT, (3) dirty-page writeback,
+// (4) PTT — with the atomic commit header last.
+func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	c.sync(now)
+	if c.ckptInFlight {
+		// Defensive: the harness should not call this while a checkpoint
+		// is draining; stall until the commit applies. (The caller
+		// observes this stall in the returned resume cycle.)
+		if c.commitDone > now {
+			now = c.commitDone
+		}
+		c.finalize()
+	}
+	c.ckptStart = now
+	maxDone := now
+
+	// (1) Drain working copies buffered in the DRAM Working Data Region.
+	var blockBuf [mem.BlockSize]byte
+	for _, e := range c.sortedBlocks() {
+		if e.overlay {
+			// Cooperation overlays: their data lives in the page's DRAM
+			// slot and is captured by the page writeback below; the entry
+			// itself is freed at commit.
+			e.dying = true
+			continue
+		}
+		if e.dying || e.lameDuck {
+			// Already consolidated (decayed or migrated into a page);
+			// nothing to stage. (Lame ducks remain serialized at their
+			// committed slot but have no working copy.)
+			continue
+		}
+		switch e.active {
+		case activeDRAM:
+			w := e.wAddr()
+			rd := c.dram.ReadBackground(now, e.bufAddr, blockBuf[:])
+			_, done := c.nvm.WriteAt(now, rd, w, blockBuf[:], mem.SrcCheckpoint)
+			if done > maxDone {
+				maxDone = done
+			}
+			e.pendingClast = w
+			e.ckpting = true
+		case activeNVM:
+			// (2) Block remapping proper: the working copy is already in
+			// NVM; only metadata needs to persist. The working copy
+			// becomes C_last with no data movement.
+			e.pendingClast = e.wAddr()
+			e.ckpting = true
+		}
+	}
+
+	// (3) Write back dirty pages from DRAM to NVM.
+	var pageBuf [mem.PageSize]byte
+	for _, e := range c.sortedPages() {
+		if e.dying {
+			continue
+		}
+		if c.cfg.Mode == ModePageRemap {
+			if e.remapActive {
+				e.pendingClast = e.wAddr()
+				e.ckpting = true
+				e.flushDone = now
+			}
+			continue
+		}
+		if !e.dirty {
+			continue
+		}
+		w := e.wAddr()
+		rd := c.dram.ReadBackground(now, e.dramAddr, pageBuf[:])
+		_, done := c.nvm.WriteAt(now, rd, w, pageBuf[:], mem.SrcCheckpoint)
+		if done > maxDone {
+			maxDone = done
+		}
+		e.pendingClast = w
+		e.ckpting = true
+		e.flushDone = done
+	}
+
+	// (4) Serialize the translation tables and CPU state, then the commit
+	// header, ordered after every data write above and after any Home-
+	// consolidation copies posted at the previous commit.
+	blob := c.serializeTables(cpuState)
+	area := &c.tableArea[c.seq%2]
+	if uint64(len(blob)) > area.size {
+		area.addr = c.allocNVMArea(uint64(len(blob)))
+		area.size = alignUp(uint64(len(blob)), mem.PageSize)
+	}
+	_, blobDone := c.nvm.WriteWithCompletion(now, area.addr, blob, mem.SrcCheckpoint)
+	if blobDone > maxDone {
+		maxDone = blobDone
+	}
+	if c.homeCopyMaxDone > maxDone {
+		maxDone = c.homeCopyMaxDone
+	}
+	c.homeCopyMaxDone = 0
+	// "Flush the NVM write queue": the commit record must follow the
+	// execution-phase working copies that block remapping wrote directly
+	// to NVM — they *are* the checkpoint data for those blocks. (Tracked
+	// explicitly so that unrelated background consolidation copies do not
+	// gate the commit.)
+	if c.execWriteMaxDone > maxDone {
+		maxDone = c.execWriteMaxDone
+	}
+	c.execWriteMaxDone = 0
+
+	header := encodeHeader(c.seq, area.addr, uint64(len(blob)), fnv64(blob))
+	_, commitDone := c.nvm.WriteAt(now, maxDone, c.headerAddr[c.seq%2], header, mem.SrcCheckpoint)
+	c.seq++
+	c.ckptInFlight = true
+	c.commitDone = commitDone
+
+	// Reset per-epoch state for the new epoch.
+	for _, e := range c.blocks {
+		if e.overlay {
+			continue
+		}
+		if e.stores > 0 {
+			e.idle = 0
+		} else {
+			e.idle = satInc8(e.idle)
+		}
+		e.stores = 0
+		e.active = activeNone
+	}
+	for _, e := range c.pages {
+		e.lastStores = e.stores
+		if e.stores > 0 {
+			e.idle = 0
+		} else {
+			e.idle = satInc8(e.idle)
+		}
+		e.stores = 0
+		e.dirty = false
+		e.remapActive = false
+	}
+	// Migration decisions use the ending epoch's counts; the next epoch
+	// starts from half of them (an EWMA) so that short, pressure-forced
+	// epochs do not undersample page hotness.
+	c.lastPageStores = c.pageStores
+	next := make(map[uint64]uint32, len(c.pageStores))
+	for p, v := range c.pageStores {
+		if v >= 2 {
+			next[p] = v / 2
+		}
+	}
+	c.pageStores = next
+
+	c.stats.Epochs++
+	c.epochID++
+	c.overflowReq = false
+
+	// The processor resumes after the controller snapshots its tables; the
+	// cache-flush stall is accounted by the caller.
+	resume := now + mem.TableLookup
+	c.epochStart = resume
+	return resume
+}
+
+// DrainCheckpoint implements ctl.Controller.
+func (c *Controller) DrainCheckpoint(now mem.Cycle) mem.Cycle {
+	c.sync(now)
+	if c.ckptInFlight {
+		if c.commitDone > now {
+			now = c.commitDone
+		}
+		c.finalize()
+	}
+	return now
+}
+
+// finalize applies the in-flight checkpoint commit: versions rotate, freed
+// entries recycle, idle entries decay toward the Home region, and (in dual
+// mode) pages migrate between the two schemes based on last epoch's write
+// locality. All consolidation writes posted here are ordered before the
+// *next* commit header via homeCopyMaxDone.
+func (c *Controller) finalize() {
+	if !c.ckptInFlight {
+		return
+	}
+	c.ckptInFlight = false
+	c.stats.Commits++
+	c.stats.CkptBusy += c.commitDone - c.ckptStart
+	at := c.commitDone
+
+	// Rotate versions: staged checkpoints become C_last.
+	for _, e := range c.blocks {
+		if e.ckpting {
+			e.clastAddr = e.pendingClast
+			e.hasCkpt = true
+			e.ckpting = false
+		}
+	}
+	for _, e := range c.pages {
+		if e.ckpting {
+			e.clastAddr = e.pendingClast
+			e.hasCkpt = true
+			e.ckpting = false
+		}
+	}
+
+	// Free entries whose consolidation committed with this checkpoint
+	// (in deterministic order: the free lists feed future slot addresses,
+	// which feed bank scheduling).
+	for _, e := range c.sortedBlocks() {
+		if e.dying || e.overlay {
+			c.freeBlockEntry(e)
+		}
+	}
+	for _, e := range c.sortedPages() {
+		if e.dying {
+			c.freePageEntry(e)
+		}
+	}
+
+	// Promote consolidations whose Home copy this commit proved durable:
+	// the entry leaves the next serialized table and is freed one commit
+	// later (until then the durable header still references its alt slot,
+	// which stays intact).
+	for _, e := range c.blocks {
+		if e.consolidateDone > 0 && e.consolidateDone <= c.commitDone {
+			e.consolidateDone = 0
+			e.lameDuck = false
+			e.dying = true
+		}
+	}
+	for _, e := range c.pages {
+		if e.consolidateDone > 0 && e.consolidateDone <= c.commitDone {
+			e.consolidateDone = 0
+			e.dying = true
+		}
+	}
+
+	c.decay(at)
+	if c.cfg.Mode == ModeDual {
+		c.migrate(at)
+	}
+	c.lastPageStores = nil
+
+	// Allocation pressure may have eased.
+	if len(c.blocks) < c.cfg.BTTEntries-c.cfg.WatermarkEntries &&
+		(c.cfg.Mode == ModeDual || c.cfg.Mode == ModeBlockRemap || c.cfg.Mode == ModeBlockWriteback ||
+			len(c.pages) < c.cfg.PTTEntries-c.cfg.WatermarkEntries/mem.BlocksPerPage-1) {
+		c.overflowReq = false
+	}
+}
+
+// decay consolidates entries that have been idle for DecayEpochs epochs:
+// their last checkpoint is copied to the Home region (if not already there)
+// and the entry freed, bounding table occupancy. Once a table has spilled
+// past its hardware capacity, every entry without a live working copy
+// consolidates immediately — the equivalent of the paper's freeing of
+// entries that belong to the penultimate checkpoint on overflow.
+func (c *Controller) decay(at mem.Cycle) {
+	thresh := uint8(c.cfg.DecayEpochs)
+	if len(c.blocks) > c.cfg.BTTEntries || len(c.pages) > c.cfg.PTTEntries {
+		thresh = 0
+	}
+	// Consolidation copies are posted on the background port; bound how
+	// many are in flight per commit so the backlog never starves the
+	// checkpoint writes sharing that port.
+	blockBudget, pageBudget := 2048, 64
+	var blockBuf [mem.BlockSize]byte
+	for _, e := range c.sortedBlocks() {
+		if blockBudget == 0 {
+			break
+		}
+		if e.overlay || e.dying || e.lameDuck || e.ckpting || e.active != activeNone ||
+			e.consolidateDone > 0 || e.idle < thresh {
+			continue
+		}
+		if !e.hasCkpt || e.clastAddr == e.homeAddr {
+			// Home already holds (or is) the latest committed data; the
+			// entry was excluded from the last serialized table, so it
+			// can be dropped immediately.
+			c.freeBlockEntry(e)
+			continue
+		}
+		// Post the consolidation copy on the background port; the entry
+		// stays live (and serialized at its alt slot) until a commit
+		// proves the copy durable — consolidation never delays commits.
+		rd := c.nvm.ReadBackground(at, e.clastAddr, blockBuf[:])
+		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, blockBuf[:], mem.SrcMigration)
+		e.consolidateDone = done
+		blockBudget--
+	}
+	var pageBuf [mem.PageSize]byte
+	for _, e := range c.sortedPages() {
+		if pageBudget == 0 {
+			break
+		}
+		if e.dying || e.ckpting || e.dirty || e.remapActive ||
+			e.consolidateDone > 0 || e.idle < thresh {
+			continue
+		}
+		if !e.hasCkpt || e.clastAddr == e.homeAddr {
+			c.freePageEntry(e)
+			continue
+		}
+		rd := c.nvm.ReadBackground(at, e.clastAddr, pageBuf[:])
+		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, pageBuf[:], mem.SrcMigration)
+		e.consolidateDone = done
+		pageBudget--
+	}
+}
+
+// migrate adapts checkpointing schemes to last epoch's write locality
+// (§3.4/§4.2): pages written densely switch to page writeback; PTT pages
+// written sparsely switch back to block remapping.
+func (c *Controller) migrate(at mem.Cycle) {
+	// Page writeback -> block remapping for cold PTT pages: request a lazy
+	// consolidation to Home; the entry is freed once the copy commits and
+	// decay drops it.
+	var pageBuf [mem.PageSize]byte
+	for _, e := range c.sortedPages() {
+		if e.dying || e.ckpting || e.dirty || !e.hasCkpt || e.consolidateDone > 0 {
+			continue
+		}
+		if int(e.lastStores) > c.cfg.SwitchToBlock || e.lastStores == 0 {
+			// Untouched pages are handled by decay; actively hot pages
+			// stay.
+			continue
+		}
+		c.stats.MigrationsOut++
+		if e.clastAddr == e.homeAddr {
+			c.freePageEntry(e)
+			continue
+		}
+		rd := c.nvm.ReadBackground(at, e.clastAddr, pageBuf[:])
+		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, pageBuf[:], mem.SrcMigration)
+		e.consolidateDone = done
+	}
+
+	// Block remapping -> page writeback for densely written pages.
+	var blockBuf [mem.BlockSize]byte
+	hotPages := make([]uint64, 0, len(c.lastPageStores))
+	for pageIdx, count := range c.lastPageStores {
+		if int(count) >= c.cfg.SwitchToPage {
+			hotPages = append(hotPages, pageIdx)
+		}
+	}
+	sort.Slice(hotPages, func(i, j int) bool { return hotPages[i] < hotPages[j] })
+	for _, pageIdx := range hotPages {
+		if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+			continue // already page-managed
+		}
+		if len(c.pages) >= c.cfg.PTTEntries {
+			continue // PTT full; stay with block remapping
+		}
+		if old := c.pages[pageIdx]; old != nil {
+			// A dying entry for this page exists (migrating out or
+			// decayed); let that complete before migrating back in.
+			continue
+		}
+		c.stats.MigrationsIn++
+		pe := c.allocPageEntry(pageIdx)
+		// Compose two images of the page from its blocks: the visible one
+		// (with any current-epoch working copies) for the DRAM Working
+		// Data Region, and the committed one (last-checkpoint data) for
+		// consolidation into Home. The Home write is safe for the same
+		// reason decay copies are — every overwritten byte is either dead
+		// (the block's checkpoint lives in its alt slot) or rewritten with
+		// its identical committed value — and it lets the next commit
+		// drop the block entries without forcing a full-page checkpoint.
+		var visImg, homeImg [mem.PageSize]byte
+		base := pageIdx * mem.PageSize
+		rdMax := at
+		hasWorking := false
+		for b := 0; b < mem.BlocksPerPage; b++ {
+			addr := base + uint64(b*mem.BlockSize)
+			off := b * mem.BlockSize
+			be := c.blocks[mem.BlockIndex(addr)]
+			if be == nil || be.overlay {
+				rd := c.nvm.ReadBackground(at, addr, blockBuf[:])
+				if rd > rdMax {
+					rdMax = rd
+				}
+				copy(visImg[off:], blockBuf[:])
+				copy(homeImg[off:], blockBuf[:])
+				continue
+			}
+			// Committed image: the block's last checkpoint.
+			committed := be.homeAddr
+			if be.hasCkpt {
+				committed = be.clastAddr
+			}
+			rd := c.nvm.ReadBackground(at, committed, blockBuf[:])
+			if rd > rdMax {
+				rdMax = rd
+			}
+			copy(homeImg[off:], blockBuf[:])
+			// Visible image: the working copy if one exists this epoch.
+			switch be.active {
+			case activeDRAM:
+				c.dram.ReadBackground(at, be.bufAddr, blockBuf[:])
+				copy(visImg[off:], blockBuf[:])
+				hasWorking = true
+			case activeNVM:
+				rd := c.nvm.ReadBackground(at, be.wAddr(), blockBuf[:])
+				if rd > rdMax {
+					rdMax = rd
+				}
+				copy(visImg[off:], blockBuf[:])
+				hasWorking = true
+			default:
+				copy(visImg[off:], homeImg[off:])
+			}
+		}
+		c.dram.WriteAt(at, rdMax, pe.dramAddr, visImg[:], mem.SrcMigration)
+		_, done := c.nvm.WriteAt(at, rdMax, pe.homeAddr, homeImg[:], mem.SrcMigration)
+		// The consumed block entries stay serialized (their alt slots
+		// remain the durable recovery source) until a commit proves the
+		// Home image durable — the same lazy-consolidation protocol decay
+		// uses, so migration never delays commits. As lame ducks they no
+		// longer serve accesses (the page does).
+		for b := 0; b < mem.BlocksPerPage; b++ {
+			addr := base + uint64(b*mem.BlockSize)
+			if be := c.blocks[mem.BlockIndex(addr)]; be != nil && !be.overlay && !be.dying {
+				be.lameDuck = true
+				be.active = activeNone
+				be.consolidateDone = done
+			}
+		}
+		// The page's committed location is Home; only if an uncommitted
+		// working copy was folded into the DRAM image does the page need a
+		// checkpoint of its own at the next epoch boundary.
+		pe.hasCkpt = true
+		pe.clastAddr = pe.homeAddr
+		pe.dirty = hasWorking
+	}
+}

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Controller is the ThyNVM memory controller: it owns the DRAM and NVM
+// devices, the BTT and PTT translation tables, and the dual-scheme
+// checkpointing state machine. It implements ctl.Controller.
+type Controller struct {
+	cfg  Config
+	nvm  *mem.Device
+	dram *mem.Device
+
+	blocks map[uint64]*blockEntry // BTT, keyed by physical block index
+	pages  map[uint64]*pageEntry  // PTT, keyed by physical page index
+
+	// NVM hardware-address-space allocation beyond the Home region:
+	// two fixed 64 B header slots, then bump-allocated checkpoint slots
+	// and table-blob areas, with free lists for recycled slots.
+	headerAddr     [2]uint64
+	nvmBumpStart   uint64
+	nvmBump        uint64
+	freeBlockSlots []uint64
+	freePageSlots  []uint64
+
+	// DRAM Working Data Region allocation.
+	dramBump           uint64
+	freeDramBlockSlots []uint64
+	freeDramPageSlots  []uint64
+
+	seq       uint64 // sequence number of the next checkpoint commit
+	tableArea [2]struct{ addr, size uint64 }
+
+	epochID     uint64
+	epochStart  mem.Cycle
+	overflowReq bool
+
+	ckptInFlight     bool
+	ckptStart        mem.Cycle
+	commitDone       mem.Cycle
+	homeCopyMaxDone  mem.Cycle // migration image writes the next header must follow
+	execWriteMaxDone mem.Cycle // completion of exec-phase NVM working-copy writes
+
+	pageStores     map[uint64]uint32 // per-page store counts, current epoch
+	lastPageStores map[uint64]uint32 // counts from the epoch being checkpointed
+
+	stats ctl.Stats
+}
+
+var _ ctl.Controller = (*Controller)(nil)
+
+// New builds a ThyNVM controller from cfg.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:        cfg,
+		nvm:        mem.NewDevice(cfg.NVM),
+		dram:       mem.NewDevice(cfg.DRAM),
+		blocks:     make(map[uint64]*blockEntry),
+		pages:      make(map[uint64]*pageEntry),
+		pageStores: make(map[uint64]uint32),
+	}
+	c.headerAddr[0] = cfg.PhysBytes
+	c.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	c.nvmBumpStart = cfg.PhysBytes + mem.PageSize
+	c.nvmBump = c.nvmBumpStart
+	return c, nil
+}
+
+// MustNew is New for known-good configs (tests, examples).
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// LoadHome pre-loads data into the Home region bypassing timing; intended
+// for test setup and workload initialization (pre-crash images).
+func (c *Controller) LoadHome(addr uint64, data []byte) {
+	c.nvm.Poke(addr, data)
+}
+
+// ---- hardware address space allocation ----
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+func (c *Controller) allocNVMBlockSlot() uint64 {
+	if n := len(c.freeBlockSlots); n > 0 {
+		s := c.freeBlockSlots[n-1]
+		c.freeBlockSlots = c.freeBlockSlots[:n-1]
+		return s
+	}
+	c.nvmBump = alignUp(c.nvmBump, mem.BlockSize)
+	s := c.nvmBump
+	c.nvmBump += mem.BlockSize
+	return s
+}
+
+func (c *Controller) allocNVMPageSlot() uint64 {
+	if n := len(c.freePageSlots); n > 0 {
+		s := c.freePageSlots[n-1]
+		c.freePageSlots = c.freePageSlots[:n-1]
+		return s
+	}
+	c.nvmBump = alignUp(c.nvmBump, mem.PageSize)
+	s := c.nvmBump
+	c.nvmBump += mem.PageSize
+	return s
+}
+
+func (c *Controller) allocNVMArea(size uint64) uint64 {
+	c.nvmBump = alignUp(c.nvmBump, mem.PageSize)
+	s := c.nvmBump
+	c.nvmBump += alignUp(size, mem.PageSize)
+	return s
+}
+
+func (c *Controller) allocDRAMBlockSlot() uint64 {
+	if n := len(c.freeDramBlockSlots); n > 0 {
+		s := c.freeDramBlockSlots[n-1]
+		c.freeDramBlockSlots = c.freeDramBlockSlots[:n-1]
+		return s
+	}
+	c.dramBump = alignUp(c.dramBump, mem.BlockSize)
+	s := c.dramBump
+	c.dramBump += mem.BlockSize
+	return s
+}
+
+func (c *Controller) allocDRAMPageSlot() uint64 {
+	if n := len(c.freeDramPageSlots); n > 0 {
+		s := c.freeDramPageSlots[n-1]
+		c.freeDramPageSlots = c.freeDramPageSlots[:n-1]
+		return s
+	}
+	c.dramBump = alignUp(c.dramBump, mem.PageSize)
+	s := c.dramBump
+	c.dramBump += mem.PageSize
+	return s
+}
+
+// ---- entry management ----
+
+func (c *Controller) allocBlockEntry(blockIdx uint64) *blockEntry {
+	e := &blockEntry{
+		phys:      blockIdx,
+		homeAddr:  blockIdx * mem.BlockSize,
+		altAddr:   c.allocNVMBlockSlot(),
+		clastAddr: blockIdx * mem.BlockSize,
+	}
+	c.blocks[blockIdx] = e
+	c.noteBTTPressure()
+	return e
+}
+
+func (c *Controller) allocOverlayEntry(blockIdx, pageIdx uint64) *blockEntry {
+	e := &blockEntry{
+		phys:        blockIdx,
+		homeAddr:    blockIdx * mem.BlockSize,
+		clastAddr:   blockIdx * mem.BlockSize,
+		overlay:     true,
+		overlayPage: pageIdx,
+	}
+	c.blocks[blockIdx] = e
+	c.noteBTTPressure()
+	return e
+}
+
+func (c *Controller) noteBTTPressure() {
+	live := len(c.blocks)
+	if uint64(live) > c.stats.PeakBTTLive {
+		c.stats.PeakBTTLive = uint64(live)
+	}
+	if live > c.cfg.BTTEntries {
+		c.stats.TableSpills++
+	}
+	if live >= c.cfg.BTTEntries-c.cfg.WatermarkEntries {
+		c.overflowReq = true
+	}
+}
+
+func (c *Controller) allocPageEntry(pageIdx uint64) *pageEntry {
+	e := &pageEntry{
+		phys:      pageIdx,
+		homeAddr:  pageIdx * mem.PageSize,
+		altAddr:   c.allocNVMPageSlot(),
+		altAddr2:  c.allocNVMPageSlot(),
+		dramAddr:  c.allocDRAMPageSlot(),
+		clastAddr: pageIdx * mem.PageSize,
+	}
+	c.pages[pageIdx] = e
+	live := len(c.pages)
+	if uint64(live) > c.stats.PeakPTTLive {
+		c.stats.PeakPTTLive = uint64(live)
+	}
+	if c.cfg.Mode == ModePageWriteback || c.cfg.Mode == ModePageRemap {
+		// Uniform page modes allocate on demand, so they need the same
+		// spill/early-checkpoint machinery the BTT has.
+		if live > c.cfg.PTTEntries {
+			c.stats.TableSpills++
+		}
+		if live >= c.cfg.PTTEntries-c.cfg.WatermarkEntries/mem.BlocksPerPage-1 {
+			c.overflowReq = true
+		}
+	}
+	return e
+}
+
+func (c *Controller) freeBlockEntry(e *blockEntry) {
+	delete(c.blocks, e.phys)
+	if e.altAddr != 0 {
+		c.freeBlockSlots = append(c.freeBlockSlots, e.altAddr)
+	}
+	if e.bufAddr != 0 {
+		c.freeDramBlockSlots = append(c.freeDramBlockSlots, e.bufAddr)
+	}
+}
+
+func (c *Controller) freePageEntry(e *pageEntry) {
+	delete(c.pages, e.phys)
+	if e.altAddr != 0 {
+		c.freePageSlots = append(c.freePageSlots, e.altAddr)
+	}
+	if e.altAddr2 != 0 {
+		c.freePageSlots = append(c.freePageSlots, e.altAddr2)
+	}
+	if e.dramAddr != 0 {
+		c.freeDramPageSlots = append(c.freeDramPageSlots, e.dramAddr)
+	}
+}
+
+// lookupLatency charges the BTT/PTT lookup. Once the tables spill past
+// their hardware capacity, entries live in a virtualized table in DRAM with
+// hot entries cached in the controller (the paper's suggested remedy for
+// large working sets); the small added latency models the average cost of
+// occasional cache misses into that structure.
+func (c *Controller) lookupLatency() mem.Cycle {
+	lat := mem.TableLookup
+	if len(c.blocks) > c.cfg.BTTEntries || len(c.pages) > c.cfg.PTTEntries {
+		lat += mem.FromNs(4)
+	}
+	return lat
+}
+
+// ---- sync / access paths ----
+
+// sync applies a completed checkpoint commit, if any.
+func (c *Controller) sync(now mem.Cycle) {
+	if c.ckptInFlight && now >= c.commitDone {
+		c.finalize()
+	}
+}
+
+func (c *Controller) checkAccess(addr uint64, n int) {
+	if n != mem.BlockSize || addr%mem.BlockSize != 0 {
+		panic(fmt.Sprintf("core: access must be one aligned block (addr=%#x n=%d)", addr, n))
+	}
+	if addr+mem.BlockSize > c.cfg.PhysBytes {
+		panic(fmt.Sprintf("core: physical address %#x beyond configured space %#x", addr, c.cfg.PhysBytes))
+	}
+}
+
+// ReadBlock implements ctl.Controller.
+func (c *Controller) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	c.checkAccess(addr, len(buf))
+	c.sync(now)
+	now += c.lookupLatency()
+	pageIdx := mem.PageIndex(addr)
+	if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+		if c.cfg.Mode == ModePageRemap {
+			off := addr - pe.homeAddr
+			return c.nvm.Read(now, pe.visibleNVMAddr()+off, buf)
+		}
+		return c.dram.Read(now, pe.dramAddr+(addr-pe.homeAddr), buf)
+	}
+	if be := c.blocks[mem.BlockIndex(addr)]; be != nil {
+		switch {
+		case be.overlay || be.dying || be.lameDuck:
+			// Consolidated to Home (the copy, if still in flight, is
+			// forwarded by the device).
+			return c.nvm.Read(now, be.homeAddr, buf)
+		case be.active == activeDRAM:
+			return c.dram.Read(now, be.bufAddr, buf)
+		default:
+			return c.nvm.Read(now, be.visibleAddr(), buf)
+		}
+	}
+	return c.nvm.Read(now, addr, buf)
+}
+
+// WriteBlock implements ctl.Controller.
+func (c *Controller) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	c.checkAccess(addr, len(data))
+	c.sync(now)
+	now += c.lookupLatency()
+	pageIdx := mem.PageIndex(addr)
+	if c.cfg.Mode == ModeDual {
+		c.pageStores[pageIdx]++
+	}
+
+	switch c.cfg.Mode {
+	case ModePageWriteback:
+		pe := c.pages[pageIdx]
+		if pe == nil || pe.dying {
+			pe, now = c.demandLoadPage(now, pageIdx)
+		}
+		return c.writeViaPage(now, pe, addr, data)
+	case ModePageRemap:
+		return c.writePageRemap(now, pageIdx, addr, data)
+	case ModeDual:
+		if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+			return c.writeViaPage(now, pe, addr, data)
+		}
+		return c.writeViaBlock(now, addr, data)
+	default: // ModeBlockRemap, ModeBlockWriteback
+		return c.writeViaBlock(now, addr, data)
+	}
+}
+
+// demandLoadPage creates a PTT entry for pageIdx and fills its DRAM slot
+// from the page's currently visible NVM image (uniform page-writeback mode
+// caches every touched page in DRAM).
+func (c *Controller) demandLoadPage(now mem.Cycle, pageIdx uint64) (*pageEntry, mem.Cycle) {
+	if old := c.pages[pageIdx]; old != nil {
+		// A dying entry still holds the committed image in its DRAM slot;
+		// revive it. If the commit excluding it is still draining, Home
+		// becomes its authoritative location and the next writeback must
+		// target the alt slot; otherwise the durable header still
+		// references the alt slot and nothing changes.
+		old.dying = false
+		old.idle = 0
+		old.consolidateDone = 0
+		if c.ckptInFlight {
+			old.clastAddr = old.homeAddr
+		}
+		return old, now
+	}
+	pe := c.allocPageEntry(pageIdx)
+	var buf [mem.PageSize]byte
+	done := c.nvm.Read(now, pe.homeAddr, buf[:])
+	c.dram.Write(done, pe.dramAddr, buf[:], mem.SrcCPU)
+	return pe, done
+}
+
+// writeViaPage services a store to a page tracked by the page-writeback
+// scheme, including the §3.4 cooperation path while the page's previous
+// checkpoint is still draining.
+func (c *Controller) writeViaPage(now mem.Cycle, pe *pageEntry, addr uint64, data []byte) mem.Cycle {
+	off := addr - pe.homeAddr
+	pe.stores = satInc16(pe.stores)
+	pe.consolidateDone = 0
+	if pe.ckpting && now < pe.flushDone {
+		if c.cfg.Cooperation {
+			// Absorb the store at block granularity: it occupies a BTT
+			// entry for the overlap window and lands in the DRAM Working
+			// Data Region. (The checkpoint snapshot was taken at
+			// BeginCheckpoint, so the in-flight writeback is unaffected.)
+			c.stats.BufferedBlockWrites++
+			blockIdx := mem.BlockIndex(addr)
+			if be := c.blocks[blockIdx]; be == nil {
+				c.allocOverlayEntry(blockIdx, pe.phys)
+			}
+			pe.dirty = true
+			return c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+		}
+		// Without cooperation the store stalls until the writeback
+		// completes (this is the stall Figure 8 attributes to
+		// checkpointing in single-scheme designs).
+		c.stats.CkptStall += pe.flushDone - now
+		now = pe.flushDone
+	}
+	pe.dirty = true
+	return c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+}
+
+// writeViaBlock services a store through the block remapping scheme.
+func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	blockIdx := mem.BlockIndex(addr)
+	be := c.blocks[blockIdx]
+	if be == nil {
+		// Hard table bound (2x the nominal capacity — the virtualized-
+		// table slack): when even the virtualized BTT is full, the store
+		// waits for the in-flight checkpoint to commit so consolidated
+		// entries free up. This is the paper's overflow behavior: under
+		// sustained pressure execution throttles to the consolidation
+		// pipeline instead of growing metadata without bound.
+		for len(c.blocks) >= 2*c.cfg.BTTEntries && c.ckptInFlight {
+			if c.commitDone > now {
+				c.stats.CkptStall += c.commitDone - now
+				now = c.commitDone
+			}
+			c.finalize()
+		}
+		be = c.allocBlockEntry(blockIdx)
+	} else if be.overlay {
+		// The page this overlay belonged to is gone; rebuild the entry as
+		// a fresh block-remapping entry (its data lives in Home).
+		be.overlay = false
+		be.dying = false
+		be.idle = 0
+		be.hasCkpt = false
+		be.clastAddr = be.homeAddr
+		if be.altAddr == 0 {
+			be.altAddr = c.allocNVMBlockSlot()
+		}
+	}
+	be.consolidateDone = 0 // a store cancels any pending Home consolidation
+	if be.lameDuck {
+		// The page that consumed this block is gone; resume block-managed
+		// operation. The durable header still references the alt slot, so
+		// the normal first-store path (working copy to the opposite slot,
+		// i.e. Home) is safe; the Home image write, if still in flight,
+		// is ordered before the new store by same-bank serialization.
+		be.lameDuck = false
+		be.idle = 0
+	}
+	revived := false
+	if be.dying && !be.overlay {
+		be.dying = false
+		be.idle = 0
+		if c.ckptInFlight {
+			// The in-flight commit excludes this entry and will make Home
+			// its authoritative location, while the durable header still
+			// references the alt slot — neither NVM slot may be
+			// overwritten until that commit applies. The new working copy
+			// is buffered in DRAM and the entry's committed location
+			// becomes Home.
+			be.clastAddr = be.homeAddr
+			revived = true
+		}
+		// Otherwise the durable header still includes the entry (its decay
+		// was decided at the last finalize); the normal path below writes
+		// the working copy to Home, ordered after the consolidation copy
+		// by same-bank serialization.
+	}
+	be.stores = satInc16(be.stores)
+
+	switch be.active {
+	case activeDRAM:
+		return c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+	case activeNVM:
+		ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
+		if done > c.execWriteMaxDone {
+			c.execWriteMaxDone = done
+		}
+		return ack
+	}
+	// First store of the epoch to this block.
+	if (c.ckptInFlight && (be.ckpting || revived)) || c.cfg.Mode == ModeBlockWriteback {
+		// The slot the working copy would occupy still backs the durable
+		// last checkpoint (its new checkpoint has not committed), so the
+		// working copy goes to the DRAM Working Data Region instead
+		// (§4.1) — or, in uniform block-writeback mode, always.
+		if be.bufAddr == 0 {
+			be.bufAddr = c.allocDRAMBlockSlot()
+		}
+		be.active = activeDRAM
+		if c.cfg.Mode != ModeBlockWriteback {
+			c.stats.BufferedBlockWrites++
+		}
+		return c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+	}
+	be.active = activeNVM
+	ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
+	if done > c.execWriteMaxDone {
+		c.execWriteMaxDone = done
+	}
+	return ack
+}
+
+// writePageRemap services a store in ModePageRemap (Table 1 option ④):
+// page-granularity remapping in NVM. The first store to a page each epoch
+// pays a blocking whole-page copy to the new working location.
+func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, data []byte) mem.Cycle {
+	pe := c.pages[pageIdx]
+	revived := false
+	if pe == nil {
+		pe = c.allocPageEntry(pageIdx)
+	} else if pe.dying {
+		// See writeViaBlock: while the commit excluding this entry drains,
+		// neither NVM slot is writable, so the remap below first waits for
+		// it; afterwards Home is its authoritative location.
+		pe.dying = false
+		pe.idle = 0
+		if c.ckptInFlight {
+			pe.clastAddr = pe.homeAddr
+			revived = true
+		}
+	}
+	pe.stores = satInc16(pe.stores)
+	pe.consolidateDone = 0
+	off := addr - pe.homeAddr
+	if !pe.remapActive {
+		if c.ckptInFlight && (pe.ckpting || revived) {
+			// The target slot still backs the durable checkpoint; the
+			// store must wait for the in-flight commit.
+			if c.commitDone > now {
+				c.stats.CkptStall += c.commitDone - now
+				now = c.commitDone
+			}
+			c.finalize()
+		}
+		// Remap on the critical path: copy the whole page to the new
+		// working location before the store can proceed (§2.3's "slow
+		// remapping").
+		var buf [mem.PageSize]byte
+		rdone := c.nvm.Read(now, pe.visibleNVMAddr(), buf[:])
+		var cpDone mem.Cycle
+		now, cpDone = c.nvm.WriteWithCompletion(rdone, pe.wAddr(), buf[:], mem.SrcCheckpoint)
+		if cpDone > c.execWriteMaxDone {
+			c.execWriteMaxDone = cpDone
+		}
+		pe.remapActive = true
+		pe.dirty = true
+	}
+	ack, done := c.nvm.WriteWithCompletion(now, pe.wAddr()+off, data, mem.SrcCPU)
+	if done > c.execWriteMaxDone {
+		c.execWriteMaxDone = done
+	}
+	return ack
+}
+
+// PeekBlock implements ctl.Controller: untimed read of the software-visible
+// version.
+func (c *Controller) PeekBlock(addr uint64, buf []byte) {
+	if pe := c.pages[mem.PageIndex(addr)]; pe != nil && !pe.dying {
+		off := addr - pe.homeAddr
+		if c.cfg.Mode == ModePageRemap {
+			c.nvm.Peek(pe.visibleNVMAddr()+off, buf)
+			return
+		}
+		c.dram.Peek(pe.dramAddr+off, buf)
+		return
+	}
+	if be := c.blocks[mem.BlockIndex(addr)]; be != nil {
+		switch {
+		case be.overlay || be.dying || be.lameDuck:
+			c.nvm.Peek(be.homeAddr, buf)
+		case be.active == activeDRAM:
+			c.dram.Peek(be.bufAddr, buf)
+		default:
+			c.nvm.Peek(be.visibleAddr(), buf)
+		}
+		return
+	}
+	c.nvm.Peek(addr, buf)
+}
+
+// Stats implements ctl.Controller.
+func (c *Controller) Stats() ctl.Stats {
+	s := c.stats
+	s.NVM = c.nvm.Stats()
+	s.DRAM = c.dram.Stats()
+	return s
+}
+
+// ResetStats implements ctl.Controller.
+func (c *Controller) ResetStats() {
+	peakB, peakP := c.stats.PeakBTTLive, c.stats.PeakPTTLive
+	c.stats = ctl.Stats{PeakBTTLive: peakB, PeakPTTLive: peakP}
+	c.nvm.ResetStats()
+	c.dram.ResetStats()
+}
+
+// LiveEntries reports current BTT and PTT occupancy (tests, reports).
+func (c *Controller) LiveEntries() (btt, ptt int) {
+	return len(c.blocks), len(c.pages)
+}
+
+// CommitAt reports whether a checkpoint is draining and the cycle at which
+// it becomes durable. Harnesses use it to reason about crash windows.
+func (c *Controller) CommitAt() (inFlight bool, at mem.Cycle) {
+	return c.ckptInFlight, c.commitDone
+}
+
+// sortedBlocks and sortedPages return table entries in physical-index order.
+// Checkpointing, decay and migration iterate in this order so that device
+// scheduling — and therefore commit timing — is deterministic for a given
+// schedule (Go map iteration order is randomized).
+func (c *Controller) sortedBlocks() []*blockEntry {
+	out := make([]*blockEntry, 0, len(c.blocks))
+	for _, e := range c.blocks {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+	return out
+}
+
+func (c *Controller) sortedPages() []*pageEntry {
+	out := make([]*pageEntry, 0, len(c.pages))
+	for _, e := range c.pages {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+	return out
+}

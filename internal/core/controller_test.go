@@ -1,0 +1,534 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"thynvm/internal/mem"
+)
+
+// testConfig returns a small, fast configuration for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PhysBytes = 1 << 20 // 1 MB
+	cfg.BTTEntries = 256
+	cfg.PTTEntries = 64
+	cfg.EpochLen = mem.FromNs(50_000) // 50 us epochs
+	cfg.WatermarkEntries = 64
+	return cfg
+}
+
+func blockOf(val byte) []byte {
+	b := make([]byte, mem.BlockSize)
+	for i := range b {
+		b[i] = val
+	}
+	return b
+}
+
+func writeB(t *testing.T, c *Controller, now mem.Cycle, addr uint64, val byte) mem.Cycle {
+	t.Helper()
+	return c.WriteBlock(now, addr, blockOf(val))
+}
+
+func readB(t *testing.T, c *Controller, now mem.Cycle, addr uint64) (byte, mem.Cycle) {
+	t.Helper()
+	buf := make([]byte, mem.BlockSize)
+	done := c.ReadBlock(now, addr, buf)
+	for _, b := range buf[1:] {
+		if b != buf[0] {
+			t.Fatalf("block at %#x not uniform", addr)
+		}
+	}
+	return buf[0], done
+}
+
+// checkpoint runs a full checkpoint cycle: begin, then drain to commit.
+func checkpoint(c *Controller, now mem.Cycle) mem.Cycle {
+	resume := c.BeginCheckpoint(now, nil)
+	return c.DrainCheckpoint(resume)
+}
+
+func TestWriteReadVisible(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 7)
+	got, _ := readB(t, c, now, 0)
+	if got != 7 {
+		t.Errorf("read %d, want 7", got)
+	}
+}
+
+func TestUntouchedDataReadsFromHome(t *testing.T) {
+	c := MustNew(testConfig())
+	c.LoadHome(4096, blockOf(99))
+	got, _ := readB(t, c, 0, 4096)
+	if got != 99 {
+		t.Errorf("home read %d, want 99", got)
+	}
+}
+
+func TestCrashBeforeAnyCheckpointLosesWrites(t *testing.T) {
+	c := MustNew(testConfig())
+	c.LoadHome(0, blockOf(1))
+	now := writeB(t, c, 0, 0, 2)
+	c.Crash(now + 1_000_000)
+	cpu, _, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != nil {
+		t.Error("recovered CPU state without any commit")
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 1 {
+		t.Errorf("recovered %d, want original home value 1", got)
+	}
+}
+
+func TestCheckpointThenCrashRecovers(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 42)
+	now = writeB(t, c, now, 64, 43)
+	now = checkpoint(c, now)
+	c.Crash(now + 1)
+	cpu, _, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cpu
+	got, _ := readB(t, c, 0, 0)
+	if got != 42 {
+		t.Errorf("block 0 recovered as %d, want 42", got)
+	}
+	got, _ = readB(t, c, 0, 64)
+	if got != 43 {
+		t.Errorf("block 64 recovered as %d, want 43", got)
+	}
+}
+
+func TestCPUStateRoundTripsThroughRecovery(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	state := []byte("pc=0xdeadbeef sp=0x1000")
+	resume := c.BeginCheckpoint(now, state)
+	now = c.DrainCheckpoint(resume)
+	c.Crash(now)
+	cpu, _, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cpu, state) {
+		t.Errorf("recovered CPU state %q, want %q", cpu, state)
+	}
+}
+
+func TestCrashDuringCheckpointRollsBackToPrevious(t *testing.T) {
+	c := MustNew(testConfig())
+	// Epoch 1: value 1, committed.
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
+	// Epoch 2: value 2; begin checkpoint but crash before it commits.
+	now = writeB(t, c, now, 0, 2)
+	resume := c.BeginCheckpoint(now, nil)
+	inFlight, commitAt := c.CommitAt()
+	if !inFlight {
+		t.Fatal("expected in-flight checkpoint")
+	}
+	if commitAt <= resume {
+		t.Fatal("commit should happen after resume (background drain)")
+	}
+	c.Crash(resume) // header cannot be durable yet
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 1 {
+		t.Errorf("recovered %d, want 1 (epoch-1 checkpoint)", got)
+	}
+}
+
+func TestCrashAfterBackgroundCommitRecoversNewEpoch(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
+	now = writeB(t, c, now, 0, 2)
+	c.BeginCheckpoint(now, nil)
+	_, commitAt := c.CommitAt()
+	c.Crash(commitAt) // commit is durable exactly at commitAt
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 2 {
+		t.Errorf("recovered %d, want 2 (committed during drain)", got)
+	}
+}
+
+func TestExecutionOverlapsCheckpointDrain(t *testing.T) {
+	c := MustNew(testConfig())
+	// Dirty a page-managed region plus sparse blocks so the drain is long.
+	now := mem.Cycle(0)
+	for i := 0; i < 64; i++ {
+		now = writeB(t, c, now, uint64(i*mem.BlockSize), byte(i))
+	}
+	resume := c.BeginCheckpoint(now, nil)
+	inFlight, commitAt := c.CommitAt()
+	if !inFlight {
+		t.Fatal("no in-flight checkpoint")
+	}
+	if commitAt <= resume {
+		t.Fatal("checkpoint should drain past the resume point")
+	}
+	// The CPU can keep writing while the checkpoint drains.
+	ack := writeB(t, c, resume, 0, 200)
+	if ack >= commitAt {
+		t.Errorf("store during drain acked at %d, should not wait for commit %d", ack, commitAt)
+	}
+	got, _ := readB(t, c, ack, 0)
+	if got != 200 {
+		t.Errorf("read-your-write during drain: got %d want 200", got)
+	}
+}
+
+func TestWritesDuringDrainAreBuffered(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1) // block entry, checkpointed next
+	c.BeginCheckpoint(now, nil)
+	// Same block written during the drain: must take the DRAM buffer path.
+	before := c.Stats().BufferedBlockWrites
+	writeB(t, c, now+1, 0, 2)
+	if c.Stats().BufferedBlockWrites != before+1 {
+		t.Error("store to a checkpointing block was not buffered in DRAM")
+	}
+	be := c.blocks[0]
+	if be.active != activeDRAM {
+		t.Errorf("entry active=%d, want activeDRAM", be.active)
+	}
+}
+
+func TestWriteToNonCheckpointingBlockGoesDirectDuringDrain(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	c.BeginCheckpoint(now, nil)
+	// A different block, not part of the in-flight checkpoint: direct NVM.
+	writeB(t, c, now+1, 4096, 9)
+	be := c.blocks[mem.BlockIndex(4096)]
+	if be == nil || be.active != activeNVM {
+		t.Error("store to untracked block should remap directly in NVM")
+	}
+}
+
+func TestCheckpointDueTimerAndWork(t *testing.T) {
+	cfg := testConfig()
+	c := MustNew(cfg)
+	if c.CheckpointDue(0, false) {
+		t.Error("due at cycle 0")
+	}
+	// Timer expired but no work: not due (epoch slides).
+	if c.CheckpointDue(cfg.EpochLen+1, false) {
+		t.Error("due with no work")
+	}
+	now := writeB(t, c, cfg.EpochLen+2, 0, 1)
+	if !c.CheckpointDue(now+cfg.EpochLen, false) {
+		t.Error("not due despite expired timer and dirty data")
+	}
+}
+
+func TestCheckpointDueOnTablePressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.BTTEntries = 128
+	cfg.WatermarkEntries = 64
+	c := MustNew(cfg)
+	now := mem.Cycle(0)
+	for i := 0; i < 64; i++ {
+		// Sparse blocks, one per page, to stay on the block path.
+		now = writeB(t, c, now, uint64(i)*mem.PageSize, byte(i))
+	}
+	if !c.CheckpointDue(now, false) {
+		t.Error("expected early checkpoint request at BTT watermark")
+	}
+}
+
+func TestDenseWritesMigrateToPageScheme(t *testing.T) {
+	cfg := testConfig()
+	c := MustNew(cfg)
+	now := mem.Cycle(0)
+	// Write every block of page 3 (64 stores > SwitchToPage=22).
+	base := uint64(3 * mem.PageSize)
+	for i := 0; i < mem.BlocksPerPage; i++ {
+		now = writeB(t, c, now, base+uint64(i*mem.BlockSize), byte(i))
+	}
+	now = checkpoint(c, now) // commit; migration happens at finalize
+	if _, ptt := c.LiveEntries(); ptt == 0 {
+		t.Fatal("dense page did not migrate to page writeback")
+	}
+	if c.Stats().MigrationsIn == 0 {
+		t.Error("MigrationsIn not counted")
+	}
+	// Data must remain visible after migration.
+	for i := 0; i < mem.BlocksPerPage; i++ {
+		got, _ := readB(t, c, now, base+uint64(i*mem.BlockSize))
+		if got != byte(i) {
+			t.Fatalf("block %d reads %d after migration, want %d", i, got, i)
+		}
+	}
+	// And survive a crash after the *next* commit (page's first checkpoint).
+	now = writeB(t, c, now, base, 111) // dirty the page
+	now = checkpoint(c, now)
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, base)
+	if got != 111 {
+		t.Errorf("post-migration recovery read %d, want 111", got)
+	}
+	got, _ = readB(t, c, 0, base+mem.BlockSize)
+	if got != 1 {
+		t.Errorf("post-migration recovery read %d, want 1", got)
+	}
+}
+
+func TestSparsePageMigratesBackToBlocks(t *testing.T) {
+	cfg := testConfig()
+	c := MustNew(cfg)
+	now := mem.Cycle(0)
+	base := uint64(2 * mem.PageSize)
+	for i := 0; i < mem.BlocksPerPage; i++ {
+		now = writeB(t, c, now, base+uint64(i*mem.BlockSize), 5)
+	}
+	now = checkpoint(c, now) // migrates in
+	if _, ptt := c.LiveEntries(); ptt != 1 {
+		t.Fatalf("expected 1 PTT entry, got %d", ptt)
+	}
+	// Next epochs: only one sparse store to that page (< SwitchToBlock).
+	now = writeB(t, c, now, base, 6)
+	now = checkpoint(c, now)
+	now = checkpoint(c, now+1) // second commit evaluates lastStores=1 -> out
+	if c.Stats().MigrationsOut == 0 {
+		t.Error("sparse page never migrated back to block remapping")
+	}
+	got, _ := readB(t, c, now, base)
+	if got != 6 {
+		t.Errorf("read %d after migrate-out, want 6", got)
+	}
+}
+
+func TestIdleEntriesDecayToHome(t *testing.T) {
+	cfg := testConfig()
+	cfg.DecayEpochs = 1
+	c := MustNew(cfg)
+	now := writeB(t, c, 0, 0, 9)
+	now = checkpoint(c, now) // entry checkpointed
+	btt0, _ := c.LiveEntries()
+	if btt0 != 1 {
+		t.Fatalf("expected 1 BTT entry, got %d", btt0)
+	}
+	// Two idle checkpoints: first marks decay (copy home), second frees.
+	now = writeB(t, c, now, 8192, 1) // unrelated work so checkpoints have work
+	now = checkpoint(c, now)
+	now = writeB(t, c, now, 8192, 2)
+	now = checkpoint(c, now)
+	now = writeB(t, c, now, 8192, 3)
+	now = checkpoint(c, now)
+	if be := c.blocks[0]; be != nil {
+		t.Errorf("idle entry never decayed (dying=%v idle=%d)", be.dying, be.idle)
+	}
+	got, _ := readB(t, c, now, 0)
+	if got != 9 {
+		t.Errorf("decayed data reads %d, want 9", got)
+	}
+	// Consolidated data must survive crash+recovery via Home.
+	c.Crash(now + 1_000_000)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = readB(t, c, 0, 0)
+	if got != 9 {
+		t.Errorf("decayed data recovered as %d, want 9", got)
+	}
+}
+
+func TestRecoveredSeqContinues(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
+	now = writeB(t, c, now, 0, 2)
+	now = checkpoint(c, now)
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// New epoch after recovery must commit with a higher sequence number
+	// and win over the stale pre-crash headers.
+	now = writeB(t, c, now, 0, 3)
+	now = checkpoint(c, now)
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 3 {
+		t.Errorf("read %d after second recovery, want 3", got)
+	}
+}
+
+func TestDoubleCrashWithoutProgress(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again immediately: recovery must be idempotent.
+	c.Crash(1)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 1 {
+		t.Errorf("read %d, want 1", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.PhysBytes = 0 },
+		func(c *Config) { c.PhysBytes = 1000 }, // not page multiple
+		func(c *Config) { c.BTTEntries = 0 },
+		func(c *Config) { c.EpochLen = 0 },
+		func(c *Config) { c.SwitchToBlock = 30 }, // > SwitchToPage
+		func(c *Config) { c.DecayEpochs = 0 },
+		func(c *Config) { c.WatermarkEntries = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestMetadataBytesMatchesPaper(t *testing.T) {
+	// Paper: "total size of the BTT and PTT ... approximately 37KB" for
+	// 2048 BTT + 4096 PTT entries.
+	got := DefaultConfig().MetadataBytes()
+	if got < 35<<10 || got > 39<<10 {
+		t.Errorf("metadata for default tables = %d bytes, want ~37 KB", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	modes := []Mode{ModeDual, ModeBlockRemap, ModePageWriteback, ModeBlockWriteback, ModePageRemap}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Errorf("mode %d has bad/duplicate name %q", m, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestAblationModesRoundTrip checks every Table 1 mode preserves write/read/
+// crash/recover semantics.
+func TestAblationModesRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeDual, ModeBlockRemap, ModePageWriteback, ModeBlockWriteback, ModePageRemap} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Mode = mode
+			c := MustNew(cfg)
+			now := mem.Cycle(0)
+			rng := rand.New(rand.NewSource(1))
+			want := map[uint64]byte{}
+			for i := 0; i < 200; i++ {
+				addr := uint64(rng.Intn(64)) * mem.BlockSize * 3 // some page overlap
+				addr -= addr % mem.BlockSize
+				val := byte(rng.Intn(256))
+				now = c.WriteBlock(now, addr, blockOf(val))
+				want[addr] = val
+				if i%50 == 49 {
+					now = checkpoint(c, now)
+				}
+			}
+			for addr, val := range want {
+				got, _ := readB(t, c, now, addr)
+				if got != val {
+					t.Fatalf("addr %#x = %d, want %d", addr, got, val)
+				}
+			}
+			now = checkpoint(c, now)
+			c.Crash(now)
+			if _, _, err := c.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			for addr, val := range want {
+				got, _ := readB(t, c, 0, addr)
+				if got != val {
+					t.Fatalf("after recovery addr %#x = %d, want %d", addr, got, val)
+				}
+			}
+		})
+	}
+}
+
+func TestCooperationAvoidsStall(t *testing.T) {
+	run := func(coop bool) (stall mem.Cycle) {
+		cfg := testConfig()
+		cfg.Cooperation = coop
+		c := MustNew(cfg)
+		now := mem.Cycle(0)
+		base := uint64(mem.PageSize)
+		// Build a PTT page via dense writes + checkpoint.
+		for i := 0; i < mem.BlocksPerPage; i++ {
+			now = writeB(t, c, now, base+uint64(i*mem.BlockSize), 1)
+		}
+		now = checkpoint(c, now)
+		// Dirty it again and begin a checkpoint (page writeback drains).
+		for i := 0; i < mem.BlocksPerPage; i++ {
+			now = writeB(t, c, now, base+uint64(i*mem.BlockSize), 2)
+		}
+		resume := c.BeginCheckpoint(now, nil)
+		// Store to the draining page immediately.
+		c.WriteBlock(resume, base, blockOf(3))
+		return c.Stats().CkptStall
+	}
+	if s := run(true); s != 0 {
+		t.Errorf("cooperation on: stall %d, want 0", s)
+	}
+	if s := run(false); s == 0 {
+		t.Error("cooperation off: expected a checkpoint stall, got none")
+	}
+	// And content is right either way.
+}
+
+func TestPeekMatchesRead(t *testing.T) {
+	c := MustNew(testConfig())
+	now := mem.Cycle(0)
+	rng := rand.New(rand.NewSource(7))
+	addrs := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		addr := uint64(rng.Intn(128)) * mem.BlockSize
+		now = c.WriteBlock(now, addr, blockOf(byte(rng.Intn(256))))
+		addrs[addr] = true
+		if i%97 == 0 {
+			now = checkpoint(c, now)
+		}
+	}
+	for addr := range addrs {
+		peek := make([]byte, mem.BlockSize)
+		c.PeekBlock(addr, peek)
+		buf := make([]byte, mem.BlockSize)
+		now = c.ReadBlock(now, addr, buf)
+		if !bytes.Equal(peek, buf) {
+			t.Fatalf("Peek and Read disagree at %#x", addr)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import "fmt"
+
+// Hardware encoding of BTT/PTT rows, following the paper's Figure 5:
+//
+//	BTT row: 42-bit block index | 2-bit version ID | 2-bit visible memory
+//	         region ID | 1-bit checkpoint region ID | 6-bit store counter
+//	PTT row: 36-bit page index  | (same control fields)
+//
+// The paper notes (footnote 6) that not all combinations of the three
+// control fields occur, so they compress into seven states with a state-
+// machine protocol (its companion document). This file implements both the
+// raw field encoding and the seven-state compression, and the tests verify
+// that every reachable controller entry state round-trips — the encoding
+// is the hardware-facing contract of the design.
+//
+// Version IDs name which versions of the data currently exist:
+//
+//	W_active — a working copy is being updated this epoch
+//	C_last   — the last (possibly still-draining) checkpoint
+//	C_penult — the penultimate checkpoint
+//
+// Visible memory region IDs name where the software-visible copy lives;
+// the checkpoint region ID says which checkpoint region holds C_last.
+
+// Version ID values (2 bits).
+const (
+	verNone   = 0 // only a committed checkpoint exists
+	verActive = 1 // a working copy exists this epoch
+	verCkpt   = 2 // the working copy is being checkpointed (draining)
+)
+
+// Visible memory region IDs (2 bits).
+const (
+	visHome    = 0 // Home region (= Checkpoint Region B)
+	visAlt     = 1 // Checkpoint Region A slot
+	visWorkDir = 2 // DRAM Working Data Region
+)
+
+// EntryState is the paper's compressed control state: the seven reachable
+// combinations of (version, visible region, checkpoint region role).
+type EntryState uint8
+
+const (
+	// StateHomeOnly: untracked-equivalent; visible data in Home.
+	StateHomeOnly EntryState = iota
+	// StateCkptAlt: committed checkpoint in the alt slot, no working copy.
+	StateCkptAlt
+	// StateCkptHome: committed checkpoint in Home, no working copy.
+	StateCkptHome
+	// StateActiveNVMFromAlt: working copy in NVM (Home slot), C_last in alt.
+	StateActiveNVMFromAlt
+	// StateActiveNVMFromHome: working copy in NVM (alt slot), C_last in Home.
+	StateActiveNVMFromHome
+	// StateActiveDRAM: working copy buffered in the DRAM Working Data
+	// Region (previous checkpoint still draining).
+	StateActiveDRAM
+	// StateDraining: the working copy is part of the in-flight checkpoint.
+	StateDraining
+	numEntryStates
+)
+
+// String names the state.
+func (s EntryState) String() string {
+	switch s {
+	case StateHomeOnly:
+		return "home-only"
+	case StateCkptAlt:
+		return "ckpt@alt"
+	case StateCkptHome:
+		return "ckpt@home"
+	case StateActiveNVMFromAlt:
+		return "active-nvm(clast@alt)"
+	case StateActiveNVMFromHome:
+		return "active-nvm(clast@home)"
+	case StateActiveDRAM:
+		return "active-dram"
+	case StateDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("EntryState(%d)", uint8(s))
+}
+
+// fields expands the compressed state into Figure 5's raw control fields.
+func (s EntryState) fields() (version, visible, ckptRegion uint8) {
+	switch s {
+	case StateHomeOnly:
+		return verNone, visHome, 1 // C_last "in" Home (region B)
+	case StateCkptAlt:
+		return verNone, visAlt, 0
+	case StateCkptHome:
+		return verNone, visHome, 1
+	case StateActiveNVMFromAlt:
+		return verActive, visHome, 0 // W overwrites the Home slot
+	case StateActiveNVMFromHome:
+		return verActive, visAlt, 1 // W overwrites the alt slot
+	case StateActiveDRAM:
+		return verActive, visWorkDir, 0
+	case StateDraining:
+		return verCkpt, visAlt, 0
+	}
+	return 0, 0, 0
+}
+
+// blockEntryState classifies a live controller entry into its compressed
+// hardware state.
+func blockEntryState(e *blockEntry) EntryState {
+	switch {
+	case e.overlay, e.dying, e.lameDuck:
+		return StateHomeOnly
+	case e.active == activeDRAM:
+		return StateActiveDRAM
+	case e.active == activeNVM:
+		if e.wAddr() == e.homeAddr {
+			return StateActiveNVMFromAlt
+		}
+		return StateActiveNVMFromHome
+	case e.ckpting:
+		return StateDraining
+	case e.hasCkpt && e.clastAddr == e.altAddr:
+		return StateCkptAlt
+	case e.hasCkpt:
+		return StateCkptHome
+	default:
+		return StateHomeOnly
+	}
+}
+
+// Row field widths from Figure 5.
+const (
+	bttIndexBits = 42
+	pttIndexBits = 36
+	verBits      = 2
+	visBits      = 2
+	ckptRegBits  = 1
+	counterBits  = 6
+)
+
+// EncodeBTTRow packs a BTT row into the paper's 53-bit layout (returned in
+// the low bits of a uint64). The store counter saturates at its 6-bit
+// maximum, exactly as the hardware's counter would.
+func EncodeBTTRow(blockIndex uint64, state EntryState, storeCount uint16) (uint64, error) {
+	return encodeRow(blockIndex, bttIndexBits, state, storeCount)
+}
+
+// EncodePTTRow packs a PTT row into the 47-bit layout.
+func EncodePTTRow(pageIndex uint64, state EntryState, storeCount uint16) (uint64, error) {
+	return encodeRow(pageIndex, pttIndexBits, state, storeCount)
+}
+
+func encodeRow(index uint64, indexBits uint, state EntryState, storeCount uint16) (uint64, error) {
+	if index >= 1<<indexBits {
+		return 0, fmt.Errorf("core: index %d exceeds %d bits", index, indexBits)
+	}
+	if state >= numEntryStates {
+		return 0, fmt.Errorf("core: invalid entry state %d", state)
+	}
+	ver, vis, ckpt := state.fields()
+	cnt := uint64(storeCount)
+	if cnt > 1<<counterBits-1 {
+		cnt = 1<<counterBits - 1
+	}
+	row := index
+	row = row<<verBits | uint64(ver)
+	row = row<<visBits | uint64(vis)
+	row = row<<ckptRegBits | uint64(ckpt)
+	row = row<<counterBits | cnt
+	return row, nil
+}
+
+// DecodeBTTRow unpacks a 53-bit BTT row.
+func DecodeBTTRow(row uint64) (blockIndex uint64, state EntryState, storeCount uint16, err error) {
+	return decodeRow(row, bttIndexBits)
+}
+
+// DecodePTTRow unpacks a 47-bit PTT row.
+func DecodePTTRow(row uint64) (pageIndex uint64, state EntryState, storeCount uint16, err error) {
+	return decodeRow(row, pttIndexBits)
+}
+
+func decodeRow(row uint64, indexBits uint) (uint64, EntryState, uint16, error) {
+	cnt := uint16(row & (1<<counterBits - 1))
+	row >>= counterBits
+	ckpt := uint8(row & (1<<ckptRegBits - 1))
+	row >>= ckptRegBits
+	vis := uint8(row & (1<<visBits - 1))
+	row >>= visBits
+	ver := uint8(row & (1<<verBits - 1))
+	row >>= verBits
+	index := row
+	if index >= 1<<indexBits {
+		return 0, 0, 0, fmt.Errorf("core: row index overflows %d bits", indexBits)
+	}
+	state, err := stateFromFields(ver, vis, ckpt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return index, state, cnt, nil
+}
+
+// stateFromFields maps raw control fields back to the compressed state.
+// Field combinations outside the seven reachable states are rejected —
+// this is precisely the compression argument of the paper's footnote 6.
+func stateFromFields(ver, vis, ckpt uint8) (EntryState, error) {
+	for s := EntryState(0); s < numEntryStates; s++ {
+		v, vi, ck := s.fields()
+		if v == ver && vi == vis && ck == ckpt {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unreachable control fields ver=%d vis=%d ckptReg=%d", ver, vis, ckpt)
+}
+
+// HardwareRowBits reports the row sizes implied by Figure 5, used by
+// Config.MetadataBytes and sanity-checked in tests.
+func HardwareRowBits() (btt, ptt int) {
+	per := verBits + visBits + ckptRegBits + counterBits
+	return bttIndexBits + per, pttIndexBits + per
+}
+
+// SnapshotBTTRows encodes the controller's current BTT into hardware rows
+// (diagnostics and tests; the persistent serialization used for recovery is
+// in recovery.go).
+func (c *Controller) SnapshotBTTRows() ([]uint64, error) {
+	out := make([]uint64, 0, len(c.blocks))
+	for _, e := range c.sortedBlocks() {
+		row, err := EncodeBTTRow(e.phys, blockEntryState(e), e.stores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

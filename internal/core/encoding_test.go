@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHardwareRowBitsMatchFigure5(t *testing.T) {
+	btt, ptt := HardwareRowBits()
+	if btt != PaperBTTEntryBits || ptt != PaperPTTEntryBits {
+		t.Errorf("row bits = %d/%d, want %d/%d (Figure 5)", btt, ptt, PaperBTTEntryBits, PaperPTTEntryBits)
+	}
+	if btt != 53 || ptt != 47 {
+		t.Errorf("row bits = %d/%d, want 53/47", btt, ptt)
+	}
+}
+
+// canonical maps aliased states to their decode representative: Home-only
+// and ckpt@Home share one field combination by design.
+func canonical(s EntryState) EntryState {
+	if s == StateCkptHome {
+		return StateHomeOnly
+	}
+	return s
+}
+
+func TestRowEncodingRoundTrip(t *testing.T) {
+	for s := EntryState(0); s < numEntryStates; s++ {
+		for _, idx := range []uint64{0, 1, 12345, 1<<42 - 1} {
+			row, err := EncodeBTTRow(idx, s, 17)
+			if err != nil {
+				t.Fatalf("state %s idx %d: %v", s, idx, err)
+			}
+			gi, gs, gc, err := DecodeBTTRow(row)
+			if err != nil {
+				t.Fatalf("decode state %s: %v", s, err)
+			}
+			if gi != idx || gs != canonical(s) || gc != 17 {
+				t.Errorf("round trip: got (%d,%s,%d) want (%d,%s,17)", gi, gs, gc, idx, canonical(s))
+			}
+		}
+	}
+}
+
+func TestPTTRowRoundTrip(t *testing.T) {
+	row, err := EncodePTTRow(999, StateActiveDRAM, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, s, c, err := DecodePTTRow(row)
+	if err != nil || idx != 999 || s != StateActiveDRAM || c != 22 {
+		t.Errorf("PTT round trip: %d %s %d %v", idx, s, c, err)
+	}
+}
+
+func TestStoreCounterSaturatesAt6Bits(t *testing.T) {
+	row, err := EncodeBTTRow(1, StateCkptAlt, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, c, _ := DecodeBTTRow(row)
+	if c != 63 {
+		t.Errorf("counter = %d, want saturated 63", c)
+	}
+}
+
+func TestEncodeRejectsOversizedIndex(t *testing.T) {
+	if _, err := EncodeBTTRow(1<<42, StateHomeOnly, 0); err == nil {
+		t.Error("42-bit overflow accepted")
+	}
+	if _, err := EncodePTTRow(1<<36, StateHomeOnly, 0); err == nil {
+		t.Error("36-bit overflow accepted")
+	}
+}
+
+func TestEncodeRejectsInvalidState(t *testing.T) {
+	if _, err := EncodeBTTRow(0, numEntryStates, 0); err == nil {
+		t.Error("invalid state accepted")
+	}
+}
+
+func TestSevenStatesAreDistinctFieldCombinations(t *testing.T) {
+	// Footnote 6's compression argument: the used (version, visible,
+	// ckptRegion) combinations must map 1:1 onto the compressed states —
+	// except Home-only and ckpt@Home, which are deliberately identical
+	// (an entry whose checkpoint lives in Home is equivalent to no entry).
+	seen := map[[3]uint8]EntryState{}
+	for s := EntryState(0); s < numEntryStates; s++ {
+		v, vi, ck := s.fields()
+		key := [3]uint8{v, vi, ck}
+		if prev, dup := seen[key]; dup {
+			okAlias := (prev == StateHomeOnly && s == StateCkptHome) ||
+				(prev == StateCkptHome && s == StateHomeOnly)
+			if !okAlias {
+				t.Errorf("states %s and %s share fields %v", prev, s, key)
+			}
+		}
+		seen[key] = s
+	}
+}
+
+func TestDecodeRejectsUnreachableFields(t *testing.T) {
+	// Craft a row with version=3 (undefined).
+	raw := uint64(5)<<(verBits+visBits+ckptRegBits+counterBits) |
+		3<<(visBits+ckptRegBits+counterBits)
+	if _, _, _, err := DecodeBTTRow(raw); err == nil {
+		t.Error("unreachable field combination accepted")
+	}
+}
+
+func TestEntryStateStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for s := EntryState(0); s < numEntryStates; s++ {
+		n := s.String()
+		if n == "" || seen[n] {
+			t.Errorf("bad/duplicate state name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestSnapshotBTTRowsReflectsLiveStates drives a controller through the
+// interesting state transitions and checks the hardware rows classify them
+// correctly.
+func TestSnapshotBTTRowsReflectsLiveStates(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1) // first write: working copy in NVM (alt slot)
+	rows, err := c.SnapshotBTTRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	_, s, cnt, _ := DecodeBTTRow(rows[0])
+	if s != StateActiveNVMFromHome {
+		t.Errorf("state = %s, want active-nvm(clast@home) for a first write", s)
+	}
+	if cnt != 1 {
+		t.Errorf("counter = %d, want 1", cnt)
+	}
+
+	// Begin a checkpoint: the entry drains.
+	c.BeginCheckpoint(now, nil)
+	rows, _ = c.SnapshotBTTRows()
+	_, s, _, _ = DecodeBTTRow(rows[0])
+	if s != StateDraining {
+		t.Errorf("state = %s, want draining", s)
+	}
+
+	// A store while draining buffers in DRAM.
+	now = writeB(t, c, now+1, 0, 2)
+	rows, _ = c.SnapshotBTTRows()
+	_, s, _, _ = DecodeBTTRow(rows[0])
+	if s != StateActiveDRAM {
+		t.Errorf("state = %s, want active-dram", s)
+	}
+
+	// After commit+checkpoint, the quiescent entry holds ckpt state.
+	now = checkpoint(c, now)
+	rows, _ = c.SnapshotBTTRows()
+	_, s, _, _ = DecodeBTTRow(rows[0])
+	if s != StateCkptAlt && s != StateHomeOnly {
+		// (ckpt@Home decodes as its alias home-only.)
+		t.Errorf("state = %s, want a quiescent checkpoint state", s)
+	}
+}
+
+// Property: any (index, state, count) encodes and decodes losslessly
+// (modulo counter saturation).
+func TestRowCodecQuick(t *testing.T) {
+	prop := func(idx uint32, st uint8, cnt uint8) bool {
+		s := EntryState(st % uint8(numEntryStates))
+		row, err := EncodeBTTRow(uint64(idx), s, uint16(cnt))
+		if err != nil {
+			return false
+		}
+		gi, gs, gc, err := DecodeBTTRow(row)
+		want := uint16(cnt)
+		if want > 63 {
+			want = 63
+		}
+		return err == nil && gi == uint64(idx) && gs == canonical(s) && gc == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetadataBytesConsistentWithRows(t *testing.T) {
+	cfg := DefaultConfig()
+	btt, ptt := HardwareRowBits()
+	want := (uint64(cfg.BTTEntries)*uint64(btt) + uint64(cfg.PTTEntries)*uint64(ptt) + 7) / 8
+	if got := cfg.MetadataBytes(); got != want {
+		t.Errorf("MetadataBytes = %d, want %d", got, want)
+	}
+}

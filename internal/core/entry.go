@@ -1,0 +1,182 @@
+package core
+
+import "thynvm/internal/mem"
+
+// activeKind describes where a block's working copy (W_active) lives during
+// the current epoch.
+type activeKind uint8
+
+const (
+	// activeNone: the block has not been written this epoch; the visible
+	// version is its last checkpoint.
+	activeNone activeKind = iota
+	// activeNVM: the working copy is updated in place in NVM at the slot
+	// opposite the committed checkpoint (the block remapping fast path).
+	activeNVM
+	// activeDRAM: the working copy is buffered in the DRAM Working Data
+	// Region because the block's previous checkpoint was still draining
+	// when the first store of the epoch arrived (§4.1).
+	activeDRAM
+)
+
+// blockEntry is one BTT row. The paper encodes it as a 53-bit row
+// (Figure 5); we keep an explicit struct plus the two hardware addresses it
+// implies (its Home-region slot and its Checkpoint-Region-A slot).
+type blockEntry struct {
+	phys uint64 // physical block index
+
+	homeAddr uint64 // NVM hardware address of the Home (Region B) slot
+	altAddr  uint64 // NVM hardware address of the Region A slot
+	bufAddr  uint64 // DRAM buffer slot; 0 until first buffered store
+
+	// hasCkpt is true once the block has a committed checkpoint;
+	// clastAddr then names the slot holding C_last (homeAddr or altAddr).
+	// Before the first commit the visible fallback is the Home region.
+	hasCkpt   bool
+	clastAddr uint64
+
+	active activeKind
+
+	// ckpting marks entries whose working copy is part of the in-flight
+	// checkpoint; pendingClast is where C_last will live once it commits.
+	ckpting      bool
+	pendingClast uint64
+
+	// overlay entries absorb stores to a page whose checkpoint is still
+	// draining (§3.4 cooperation); they carry no NVM slot of their own and
+	// are dropped once the page's flush completes.
+	overlay     bool
+	overlayPage uint64
+
+	// dying entries have been consolidated (migrated into a page, or
+	// decayed to the Home region) and are freed at the next commit.
+	dying bool
+	// lameDuck entries were consumed by a block->page migration: the page
+	// owns reads and writes, but the entry stays serialized (its alt slot
+	// remains the durable recovery source) until the page's Home image is
+	// provably durable, at which point it is promoted to dying.
+	lameDuck bool
+	// consolidateDone, when nonzero, is the completion cycle of a posted
+	// Home-consolidation copy; once a commit proves the copy durable the
+	// entry is promoted to dying. A store cancels the consolidation.
+	consolidateDone mem.Cycle
+
+	stores uint16 // stores this epoch (saturating; paper: 6-bit counter)
+	idle   uint8  // consecutive epochs with no stores
+}
+
+// wAddr returns the NVM slot a new working copy should occupy: the slot
+// opposite the (staged or committed) last checkpoint.
+func (e *blockEntry) wAddr() uint64 {
+	cl := e.clastAddr
+	if e.ckpting {
+		cl = e.pendingClast
+	}
+	if !e.hasCkpt && !e.ckpting {
+		// Never checkpointed: Home holds the pre-tracking data, so the
+		// working copy must use the Region A slot.
+		return e.altAddr
+	}
+	if cl == e.homeAddr {
+		return e.altAddr
+	}
+	return e.homeAddr
+}
+
+// visibleAddr returns the NVM address holding the software-visible version
+// when the working copy is in NVM or absent. (activeDRAM visibility is the
+// DRAM buffer and is handled by the controller.)
+func (e *blockEntry) visibleAddr() uint64 {
+	if e.active == activeNVM {
+		return e.wAddr()
+	}
+	if e.ckpting {
+		return e.pendingClast
+	}
+	if e.hasCkpt {
+		return e.clastAddr
+	}
+	return e.homeAddr
+}
+
+// pageEntry is one PTT row plus the hardware addresses it implies.
+type pageEntry struct {
+	phys uint64 // physical page index
+
+	homeAddr uint64 // NVM Home page slot (consolidation target only)
+	altAddr  uint64 // first NVM checkpoint slot
+	altAddr2 uint64 // second NVM checkpoint slot
+	dramAddr uint64 // DRAM Working Data Region page slot
+
+	hasCkpt   bool
+	clastAddr uint64
+
+	// dirty means the DRAM copy differs from the last checkpoint and must
+	// be written back during the next checkpointing phase.
+	dirty bool
+
+	ckpting      bool
+	pendingClast uint64
+	// flushDone is the cycle at which this page's checkpoint writeback
+	// completes; stores arriving earlier hit the §3.4 cooperation path.
+	flushDone mem.Cycle
+
+	dying bool
+	// consolidateDone: see blockEntry.
+	consolidateDone mem.Cycle
+
+	stores     uint16
+	lastStores uint16 // stores during the epoch that just ended (for switching)
+	idle       uint8
+
+	// remapActive is used by ModePageRemap only: the page's working copy
+	// has been established in NVM this epoch.
+	remapActive bool
+}
+
+// wAddr returns the NVM slot for the page's next checkpoint image (or, in
+// ModePageRemap, its remapped working copy). Page checkpoints ping-pong
+// between the two alt slots and NEVER target the Home slot: a page's Home
+// bytes can be the recovery source of individually tracked (or formerly
+// tracked) blocks of that page, so Home is only ever written by the
+// crash-safe consolidation path.
+func (e *pageEntry) wAddr() uint64 {
+	cl := e.clastAddr
+	if e.ckpting {
+		cl = e.pendingClast
+	}
+	if cl == e.altAddr {
+		return e.altAddr2
+	}
+	return e.altAddr
+}
+
+// visibleNVMAddr returns the NVM address of the page's newest checkpointed
+// image (used when the DRAM copy is absent, e.g. after recovery staging, or
+// by ModePageRemap reads).
+func (e *pageEntry) visibleNVMAddr() uint64 {
+	if e.remapActive {
+		return e.wAddr()
+	}
+	if e.ckpting {
+		return e.pendingClast
+	}
+	if e.hasCkpt {
+		return e.clastAddr
+	}
+	return e.homeAddr
+}
+
+func satInc16(v uint16) uint16 {
+	if v == ^uint16(0) {
+		return v
+	}
+	return v + 1
+}
+
+func satInc8(v uint8) uint8 {
+	if v == ^uint8(0) {
+		return v
+	}
+	return v + 1
+}

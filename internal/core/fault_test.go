@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"thynvm/internal/mem"
+)
+
+// Metadata fault-injection: recovery must tolerate torn or corrupted
+// commit records by falling back to the newest remaining valid one — the
+// property the checksummed ping-pong headers exist for.
+
+// corrupt flips a byte at the given NVM address.
+func corrupt(c *Controller, addr uint64) {
+	var b [1]byte
+	c.nvm.Peek(addr, b[:])
+	b[0] ^= 0xff
+	c.nvm.Poke(addr, b[:])
+}
+
+func TestRecoveryToleratesCorruptNewestHeader(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now) // commit A (value 1)
+	now = writeB(t, c, now, 0, 2)
+	now = checkpoint(c, now) // commit B (value 2)
+	c.Crash(now)
+	// Corrupt the newest header (commit B is even/odd per seq parity; flip
+	// a byte in both header slots' checksummed area one at a time and
+	// check the fallback).
+	corrupt(c, c.headerAddr[1]+8) // seq field of the second header slot
+	cpu, _, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cpu
+	got, _ := readB(t, c, 0, 0)
+	// One of the two commits survived; the value must be 1 or 2, never
+	// garbage, and the system must be usable.
+	if got != 1 && got != 2 {
+		t.Fatalf("recovered garbage value %d", got)
+	}
+}
+
+func TestRecoveryToleratesCorruptBlob(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
+	blobAddrA := c.tableArea[0].addr
+	now = writeB(t, c, now, 0, 2)
+	now = checkpoint(c, now)
+	blobAddrB := c.tableArea[1].addr
+	c.Crash(now)
+	// Corrupt the payload of the NEWER blob: its checksum must fail and
+	// recovery must fall back to the older commit (value 1).
+	corrupt(c, blobAddrA+16)
+	corrupt(c, blobAddrB+16)
+	// (Both corrupted: recovery must still not return garbage — with both
+	// commits invalid it cold-starts to the Home image.)
+	cpu, _, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	switch {
+	case cpu == nil && got == 0:
+		// cold start to initial image: acceptable
+	case got == 1 || got == 2:
+		// fell back to a valid commit: acceptable
+	default:
+		t.Fatalf("recovered garbage: cpu=%v value=%d", cpu, got)
+	}
+}
+
+func TestRecoveryFallsBackExactlyOneCommit(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now) // commit seq 0 -> header slot 0
+	now = writeB(t, c, now, 0, 2)
+	now = checkpoint(c, now) // commit seq 1 -> header slot 1
+	c.Crash(now)
+	corrupt(c, c.headerAddr[1]) // destroy the newest (seq 1) header magic
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 1 {
+		t.Fatalf("recovered %d, want fallback to commit 0 (value 1)", got)
+	}
+}
+
+func TestHeaderChecksumDetectsEveryByteFlip(t *testing.T) {
+	h := encodeHeader(7, 1024, 512, 0xdeadbeef)
+	for i := 0; i < 48; i++ {
+		mutated := append([]byte(nil), h...)
+		mutated[i] ^= 0x01
+		if _, ok := decodeHeader(mutated); ok {
+			t.Errorf("single-bit flip at byte %d went undetected", i)
+		}
+	}
+	if _, ok := decodeHeader(h); !ok {
+		t.Error("pristine header rejected")
+	}
+}
+
+func TestRecoveryAfterCrashDuringRecoveryWindow(t *testing.T) {
+	// Crash, recover, then crash again immediately (before any new
+	// commit): the consolidation writes of the first recovery must leave
+	// a state the second recovery reproduces.
+	c := MustNew(testConfig())
+	now := mem.Cycle(0)
+	for i := 0; i < 16; i++ {
+		now = writeB(t, c, now, uint64(i)*mem.BlockSize, byte(i+1))
+	}
+	now = checkpoint(c, now)
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(1) // crash at cycle 1 of the recovered timeline
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		got, _ := readB(t, c, 0, uint64(i)*mem.BlockSize)
+		if got != byte(i+1) {
+			t.Fatalf("block %d = %d after double recovery, want %d", i, got, i+1)
+		}
+	}
+}

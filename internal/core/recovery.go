@@ -1,0 +1,300 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"thynvm/internal/mem"
+)
+
+// Metadata persistence format. Each checkpoint commit writes a table blob
+// (translation tables + CPU state) into a ping-pong area of NVM, then a
+// 64-byte header naming it. Recovery validates both headers' checksums and
+// restores from the newest valid one — a more robust realization of the
+// paper's atomic "checkpoint complete" bit.
+
+const (
+	headerMagic = 0x5448594e564d4844 // "THYNVMHD"
+	blobMagic   = 0x5448594e564d5442 // "THYNVMTB"
+	headerSize  = mem.BlockSize
+)
+
+// fnv64 is FNV-1a, used to detect torn metadata writes.
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func encodeHeader(seq, tableAddr, tableLen, tableSum uint64) []byte {
+	h := make([]byte, headerSize)
+	binary.LittleEndian.PutUint64(h[0:], headerMagic)
+	binary.LittleEndian.PutUint64(h[8:], seq)
+	binary.LittleEndian.PutUint64(h[16:], tableAddr)
+	binary.LittleEndian.PutUint64(h[24:], tableLen)
+	binary.LittleEndian.PutUint64(h[32:], tableSum)
+	binary.LittleEndian.PutUint64(h[40:], fnv64(h[:40]))
+	return h
+}
+
+type header struct {
+	seq       uint64
+	tableAddr uint64
+	tableLen  uint64
+	tableSum  uint64
+}
+
+func decodeHeader(b []byte) (header, bool) {
+	if len(b) < headerSize {
+		return header{}, false
+	}
+	if binary.LittleEndian.Uint64(b[0:]) != headerMagic {
+		return header{}, false
+	}
+	if binary.LittleEndian.Uint64(b[40:]) != fnv64(b[:40]) {
+		return header{}, false
+	}
+	return header{
+		seq:       binary.LittleEndian.Uint64(b[8:]),
+		tableAddr: binary.LittleEndian.Uint64(b[16:]),
+		tableLen:  binary.LittleEndian.Uint64(b[24:]),
+		tableSum:  binary.LittleEndian.Uint64(b[32:]),
+	}, true
+}
+
+// serializeTables builds the persistent form of the BTT and PTT: for every
+// entry whose post-commit checkpoint will live outside the Home region, the
+// physical index and the slot address. Entries checkpointed into Home are
+// omitted — recovery falls back to Home for anything untracked, which is
+// also what lets idle entries be freed.
+func (c *Controller) serializeTables(cpuState []byte) []byte {
+	type rec struct{ phys, slot uint64 }
+	var brecs, precs []rec
+	for _, e := range c.sortedBlocks() {
+		if e.overlay || e.dying {
+			continue
+		}
+		// Lame ducks serialize at their committed slot (clast) below.
+		slot := e.clastAddr
+		if e.ckpting {
+			slot = e.pendingClast
+		}
+		if !e.hasCkpt && !e.ckpting {
+			continue // never checkpointed: Home is authoritative
+		}
+		if slot == e.homeAddr {
+			continue
+		}
+		brecs = append(brecs, rec{e.phys, slot})
+	}
+	for _, e := range c.sortedPages() {
+		if e.dying {
+			continue
+		}
+		slot := e.clastAddr
+		if e.ckpting {
+			slot = e.pendingClast
+		}
+		if !e.hasCkpt && !e.ckpting {
+			continue
+		}
+		if slot == e.homeAddr {
+			continue
+		}
+		precs = append(precs, rec{e.phys, slot})
+	}
+
+	blob := make([]byte, 0, 8+8+4+len(cpuState)+8+16*(len(brecs)+len(precs)))
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		blob = append(blob, u64[:]...)
+	}
+	put(blobMagic)
+	put(c.epochID)
+	put(uint64(len(cpuState)))
+	blob = append(blob, cpuState...)
+	put(uint64(len(brecs)))
+	for _, r := range brecs {
+		put(r.phys)
+		put(r.slot)
+	}
+	put(uint64(len(precs)))
+	for _, r := range precs {
+		put(r.phys)
+		put(r.slot)
+	}
+	return blob
+}
+
+type tableImage struct {
+	epochID  uint64
+	cpuState []byte
+	blocks   []struct{ phys, slot uint64 }
+	pages    []struct{ phys, slot uint64 }
+}
+
+func parseTables(blob []byte) (*tableImage, error) {
+	img := &tableImage{}
+	off := 0
+	next := func() (uint64, error) {
+		if off+8 > len(blob) {
+			return 0, fmt.Errorf("core: truncated table blob at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint64(blob[off:])
+		off += 8
+		return v, nil
+	}
+	magic, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if magic != blobMagic {
+		return nil, fmt.Errorf("core: bad table blob magic %#x", magic)
+	}
+	if img.epochID, err = next(); err != nil {
+		return nil, err
+	}
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if off+int(n) > len(blob) {
+		return nil, fmt.Errorf("core: truncated CPU state")
+	}
+	img.cpuState = append([]byte(nil), blob[off:off+int(n)]...)
+	off += int(n)
+	nb, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nb; i++ {
+		phys, err := next()
+		if err != nil {
+			return nil, err
+		}
+		slot, err := next()
+		if err != nil {
+			return nil, err
+		}
+		img.blocks = append(img.blocks, struct{ phys, slot uint64 }{phys, slot})
+	}
+	np, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < np; i++ {
+		phys, err := next()
+		if err != nil {
+			return nil, err
+		}
+		slot, err := next()
+		if err != nil {
+			return nil, err
+		}
+		img.pages = append(img.pages, struct{ phys, slot uint64 }{phys, slot})
+	}
+	return img, nil
+}
+
+// Crash implements ctl.Controller: power failure at cycle at. Posted NVM
+// writes that have not completed never become durable; DRAM and all
+// controller state (translation tables, epoch machinery) are lost.
+func (c *Controller) Crash(at mem.Cycle) {
+	c.nvm.Crash(at)
+	c.dram.Crash(at)
+	c.blocks = make(map[uint64]*blockEntry)
+	c.pages = make(map[uint64]*pageEntry)
+	c.freeBlockSlots = nil
+	c.freePageSlots = nil
+	c.freeDramBlockSlots = nil
+	c.freeDramPageSlots = nil
+	c.dramBump = 0
+	c.pageStores = make(map[uint64]uint32)
+	c.lastPageStores = nil
+	c.ckptInFlight = false
+	c.overflowReq = false
+	c.homeCopyMaxDone = 0
+	c.tableArea = [2]struct{ addr, size uint64 }{}
+	// nvmBump and seq are restored by Recover from durable metadata.
+	c.nvmBump = c.nvmBumpStart
+	c.seq = 0
+}
+
+// Recover implements ctl.Controller: it reloads the newest valid checkpoint
+// metadata from NVM (the paper's step 1), consolidates every checkpointed
+// block and page into the Home region so the whole physical address space
+// is software-visible again (steps 2–3), and returns the CPU state saved
+// with that checkpoint. If no checkpoint ever committed, the Home region
+// (the initial image) is the recovered state and cpuState is nil.
+func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
+	t := mem.Cycle(0)
+	var best *header
+	var bestBlob []byte
+	for i := 0; i < 2; i++ {
+		hbuf := make([]byte, headerSize)
+		t = c.nvm.Read(t, c.headerAddr[i], hbuf)
+		h, ok := decodeHeader(hbuf)
+		if !ok {
+			continue
+		}
+		blob := make([]byte, h.tableLen)
+		t = c.nvm.Read(t, h.tableAddr, blob)
+		if fnv64(blob) != h.tableSum {
+			continue
+		}
+		if best == nil || h.seq > best.seq {
+			hh := h
+			best = &hh
+			bestBlob = blob
+		}
+	}
+	if best == nil {
+		// Cold start: nothing committed; Home is authoritative.
+		c.epochID = 0
+		c.epochStart = t
+		c.seq = 0
+		return nil, t, nil
+	}
+	img, err := parseTables(bestBlob)
+	if err != nil {
+		return nil, t, fmt.Errorf("core: valid header %d names unparsable table: %w", best.seq, err)
+	}
+	// Consolidate checkpointed data into Home.
+	var blockBuf [mem.BlockSize]byte
+	maxBump := c.nvmBumpStart
+	for _, r := range img.blocks {
+		rd := c.nvm.Read(t, r.slot, blockBuf[:])
+		t = c.nvm.Write(rd, r.phys*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		if end := r.slot + mem.BlockSize; end > maxBump {
+			maxBump = end
+		}
+	}
+	var pageBuf [mem.PageSize]byte
+	for _, r := range img.pages {
+		rd := c.nvm.Read(t, r.slot, pageBuf[:])
+		t = c.nvm.Write(rd, r.phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
+		if end := r.slot + mem.PageSize; end > maxBump {
+			maxBump = end
+		}
+	}
+	t = c.nvm.Flush(t)
+	// Future allocations must not clobber the surviving metadata blob (it
+	// stays authoritative until the next commit) nor, conservatively, the
+	// slots just consolidated.
+	if end := best.tableAddr + best.tableLen; end > maxBump {
+		maxBump = end
+	}
+	c.nvmBump = alignUp(maxBump, mem.PageSize)
+	c.seq = best.seq + 1
+	c.epochID = img.epochID
+	c.epochStart = t
+	return img.cpuState, t, nil
+}

@@ -1,0 +1,125 @@
+// Package cpu models the processor of the simulated system: a 3 GHz
+// in-order core (Table 2 of the paper) that interleaves compute work with
+// memory operations, plus the architectural state that ThyNVM's
+// checkpointing must persist and recover (registers, program counter).
+//
+// The core is deliberately simple — the paper's evaluation uses an in-order
+// gem5 core, and the phenomena under study live in the memory system — but
+// its state is real: registers evolve deterministically with executed
+// instructions, are serialized into each checkpoint, and recovery is
+// verified to restore them exactly to an epoch boundary.
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"thynvm/internal/mem"
+)
+
+// NumRegs is the number of modeled architectural registers.
+const NumRegs = 16
+
+// Core is an in-order core: one instruction retires per cycle, memory
+// operations stall until the memory system acknowledges them.
+type Core struct {
+	// PC counts retired instructions (a linear program counter).
+	PC uint64
+	// Regs is the architectural register file; it evolves as a
+	// deterministic function of executed instructions so that checkpoint/
+	// recovery correctness is observable.
+	Regs [NumRegs]uint64
+
+	// Retired counts all instructions, MemOps just the memory operations.
+	Retired uint64
+	MemOps  uint64
+	// StallCycles accumulates cycles the core waited on memory beyond the
+	// one cycle a load/store would take in an ideal pipeline.
+	StallCycles mem.Cycle
+}
+
+// ExecuteCompute retires n compute instructions starting at cycle now and
+// returns the cycle after they complete (1 IPC). Register state advances
+// deterministically.
+func (c *Core) ExecuteCompute(now mem.Cycle, n uint64) mem.Cycle {
+	for i := uint64(0); i < n; i++ {
+		r := (c.PC + i) % NumRegs
+		c.Regs[r] = c.Regs[r]*6364136223846793005 + c.PC + i + 1442695040888963407
+	}
+	c.PC += n
+	c.Retired += n
+	return now + mem.Cycle(n)
+}
+
+// RetireMemOp accounts a memory operation that was issued at cycle issued
+// and completed at cycle done: one pipeline cycle plus memory stall.
+// It returns the cycle execution continues.
+func (c *Core) RetireMemOp(issued, done mem.Cycle) mem.Cycle {
+	c.PC++
+	c.Retired++
+	c.MemOps++
+	end := issued + 1
+	if done > end {
+		c.StallCycles += done - end
+		end = done
+	}
+	// Fold the op into register state so CPU state depends on the whole
+	// executed history.
+	c.Regs[c.PC%NumRegs] ^= uint64(done)
+	return end
+}
+
+// IPC returns retired instructions per cycle over the given elapsed time.
+func (c *Core) IPC(elapsed mem.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(elapsed)
+}
+
+// stateSize is the serialized size of the core state.
+const stateSize = 8 * (3 + NumRegs)
+
+// State serializes the architectural state (the "CPU state" the paper's
+// checkpointing phase writes to the backup region along with store buffers
+// and dirty cache blocks).
+func (c *Core) State() []byte {
+	out := make([]byte, stateSize)
+	binary.LittleEndian.PutUint64(out[0:], c.PC)
+	binary.LittleEndian.PutUint64(out[8:], c.Retired)
+	binary.LittleEndian.PutUint64(out[16:], c.MemOps)
+	for i, r := range c.Regs {
+		binary.LittleEndian.PutUint64(out[24+8*i:], r)
+	}
+	return out
+}
+
+// LoadState restores serialized architectural state (system recovery,
+// §4.5 step 3). Stall accounting is not part of architectural state and
+// resets.
+func (c *Core) LoadState(b []byte) error {
+	if len(b) != stateSize {
+		return fmt.Errorf("cpu: state size %d, want %d", len(b), stateSize)
+	}
+	c.PC = binary.LittleEndian.Uint64(b[0:])
+	c.Retired = binary.LittleEndian.Uint64(b[8:])
+	c.MemOps = binary.LittleEndian.Uint64(b[16:])
+	for i := range c.Regs {
+		c.Regs[i] = binary.LittleEndian.Uint64(b[24+8*i:])
+	}
+	c.StallCycles = 0
+	return nil
+}
+
+// Equal reports whether two cores hold identical architectural state.
+func (c *Core) Equal(o *Core) bool {
+	if c.PC != o.PC || c.Retired != o.Retired || c.MemOps != o.MemOps {
+		return false
+	}
+	for i := range c.Regs {
+		if c.Regs[i] != o.Regs[i] {
+			return false
+		}
+	}
+	return true
+}

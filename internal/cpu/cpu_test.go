@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thynvm/internal/mem"
+)
+
+func TestComputeAdvancesOneIPC(t *testing.T) {
+	var c Core
+	end := c.ExecuteCompute(100, 50)
+	if end != 150 {
+		t.Errorf("end = %d, want 150", end)
+	}
+	if c.PC != 50 || c.Retired != 50 {
+		t.Errorf("PC=%d Retired=%d, want 50", c.PC, c.Retired)
+	}
+}
+
+func TestComputeChangesRegisters(t *testing.T) {
+	var c Core
+	before := c.Regs
+	c.ExecuteCompute(0, NumRegs)
+	if c.Regs == before {
+		t.Error("registers unchanged after compute")
+	}
+}
+
+func TestRetireMemOpAccountsStall(t *testing.T) {
+	var c Core
+	end := c.RetireMemOp(100, 220)
+	if end != 220 {
+		t.Errorf("end = %d, want 220", end)
+	}
+	if c.StallCycles != 119 {
+		t.Errorf("stall = %d, want 119 (220 - 101)", c.StallCycles)
+	}
+	// A 1-cycle op has no stall.
+	c2 := Core{}
+	end = c2.RetireMemOp(10, 10)
+	if end != 11 || c2.StallCycles != 0 {
+		t.Errorf("fast op: end=%d stall=%d", end, c2.StallCycles)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var c Core
+	c.ExecuteCompute(0, 300)
+	if got := c.IPC(600); got != 0.5 {
+		t.Errorf("IPC = %g, want 0.5", got)
+	}
+	if got := c.IPC(0); got != 0 {
+		t.Errorf("IPC over zero cycles = %g, want 0", got)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	var c Core
+	now := c.ExecuteCompute(0, 123)
+	now = c.RetireMemOp(now, now+500)
+	c.ExecuteCompute(now, 7)
+	var r Core
+	if err := r.LoadState(c.State()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(&c) {
+		t.Error("state round trip lost information")
+	}
+}
+
+func TestLoadStateRejectsBadSize(t *testing.T) {
+	var c Core
+	if err := c.LoadState([]byte{1, 2, 3}); err == nil {
+		t.Error("short state accepted")
+	}
+}
+
+func TestStateIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		var c Core
+		now := c.ExecuteCompute(0, 1000)
+		for i := 0; i < 10; i++ {
+			now = c.RetireMemOp(now, now+mem.Cycle(i*37))
+			now = c.ExecuteCompute(now, uint64(i))
+		}
+		return c.State()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical executions produced different states")
+		}
+	}
+}
+
+func TestDistinctHistoriesDistinctStates(t *testing.T) {
+	prop := func(n1, n2 uint16) bool {
+		if n1 == n2 {
+			return true
+		}
+		var a, b Core
+		a.ExecuteCompute(0, uint64(n1)+1)
+		b.ExecuteCompute(0, uint64(n2)+1)
+		return !a.Equal(&b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

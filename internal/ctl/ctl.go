@@ -1,0 +1,119 @@
+// Package ctl defines the contract between the simulation harness and a
+// memory controller that implements some crash-consistency scheme: ThyNVM
+// itself (internal/core) and the paper's comparison points (internal/
+// baseline: Ideal DRAM, Ideal NVM, Journaling, Shadow paging).
+//
+// The harness drives a CPU + cache model on top of a Controller. Before
+// each operation it polls CheckpointDue; when due, it stalls the CPU,
+// flushes dirty cache blocks through WriteBlock (the paper's hardware data
+// flush, §4.4) and calls BeginCheckpoint with the serialized CPU context.
+// Crash/Recover model power failure at an arbitrary cycle.
+package ctl
+
+import "thynvm/internal/mem"
+
+// Controller is a memory controller enforcing crash consistency over a
+// physical address space. Addresses handed to ReadBlock/WriteBlock are
+// physical and block-aligned; buffers are exactly one cache block.
+type Controller interface {
+	// ReadBlock performs a timed read and returns its completion cycle.
+	ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle
+	// WriteBlock performs a timed write and returns the cycle at which the
+	// issuer may proceed (writes may be posted and complete later).
+	WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle
+
+	// CheckpointDue reports whether the controller wants the CPU to begin
+	// a checkpoint at cycle now (epoch timer expired or tables near
+	// overflow). cpuDirty tells the controller that the processor caches
+	// hold dirty blocks it cannot see — an expired epoch timer then fires
+	// even if the controller itself has nothing staged. It never returns
+	// true while a previous checkpoint is still draining.
+	CheckpointDue(now mem.Cycle, cpuDirty bool) bool
+
+	// BeginCheckpoint ends the current epoch. The caller must already
+	// have flushed dirty cache blocks through WriteBlock. cpuState is the
+	// processor context to persist with the checkpoint. The return value
+	// is the cycle at which the processor may resume execution; the
+	// checkpoint itself may keep draining in the background.
+	BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle
+
+	// DrainCheckpoint blocks until any in-flight checkpoint has fully
+	// committed and returns that cycle. Used at end of simulation and by
+	// stop-the-world schemes' tests.
+	DrainCheckpoint(now mem.Cycle) mem.Cycle
+
+	// Crash models a power failure at cycle at: volatile devices and
+	// controller state are lost; posted NVM writes that have not completed
+	// by at never become durable.
+	Crash(at mem.Cycle)
+
+	// Recover rebuilds a consistent software-visible memory image from
+	// durable NVM contents after a crash. It returns the CPU state saved
+	// with the recovered checkpoint (nil if the system crashed before any
+	// checkpoint committed) and the recovery latency in cycles.
+	Recover() (cpuState []byte, latency mem.Cycle, err error)
+
+	// PeekBlock reads the currently software-visible version of the block
+	// at physical addr without advancing time (verification only).
+	PeekBlock(addr uint64, buf []byte)
+
+	// Stats returns accumulated controller statistics.
+	Stats() Stats
+	// ResetStats zeroes all statistics, including device counters.
+	ResetStats()
+}
+
+// Stats aggregates controller- and device-level counters used to reproduce
+// the paper's figures.
+type Stats struct {
+	// Epochs counts completed execution phases; Commits counts fully
+	// durable checkpoints.
+	Epochs  uint64
+	Commits uint64
+
+	// CkptStall is execution time the CPU lost to *in-line* waits caused
+	// by checkpointing (cooperation-off page waits, waits for a previous
+	// checkpoint to commit, forced mid-epoch flushes). Time spent inside
+	// BeginCheckpoint calls is visible to the harness through the returned
+	// resume cycle and accounted there, not here.
+	CkptStall mem.Cycle
+	// CkptBusy is the total time some checkpoint was draining in the
+	// background (overlap with execution does not count as stall).
+	CkptBusy mem.Cycle
+
+	// MemStall is execution time lost to raw memory backpressure
+	// (write-queue-full waits) outside checkpoint causes.
+	MemStall mem.Cycle
+
+	// Migrations counts pages switched between checkpointing schemes;
+	// In = block remapping -> page writeback, Out = the reverse.
+	MigrationsIn  uint64
+	MigrationsOut uint64
+
+	// TableSpills counts BTT allocations beyond the configured capacity
+	// (the paper's "virtualized table" fallback).
+	TableSpills uint64
+
+	// PeakBTTLive and PeakPTTLive record the high-water mark of live
+	// translation-table entries (metadata pressure).
+	PeakBTTLive uint64
+	PeakPTTLive uint64
+
+	// BufferedBlockWrites counts stores absorbed by the cooperation
+	// mechanism (block remapping temporarily handling page-writeback data,
+	// §3.4).
+	BufferedBlockWrites uint64
+
+	// NVM and DRAM are the device counters, including per-source NVM
+	// write-traffic breakdown (Figure 8).
+	NVM  mem.DeviceStats
+	DRAM mem.DeviceStats
+}
+
+// NVMWriteBytes returns total bytes written to NVM.
+func (s Stats) NVMWriteBytes() uint64 { return s.NVM.BytesWritten }
+
+// NVMWriteBytesBy returns NVM write bytes from the given source.
+func (s Stats) NVMWriteBytesBy(src mem.WriteSource) uint64 {
+	return s.NVM.BytesBySource[src]
+}

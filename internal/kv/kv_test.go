@@ -1,0 +1,275 @@
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"thynvm/internal/alloc"
+	"thynvm/internal/mem"
+)
+
+// flatMem is an untimed Memory for logic tests.
+type flatMem struct{ s *mem.Storage }
+
+func newFlatMem() *flatMem                        { return &flatMem{s: mem.NewStorage()} }
+func (f *flatMem) Read(addr uint64, buf []byte)   { f.s.Read(addr, buf) }
+func (f *flatMem) Write(addr uint64, data []byte) { f.s.Write(addr, data) }
+
+const (
+	headerAddr = 64
+	arenaBase  = 4096
+	arenaSize  = 8 << 20
+)
+
+func newHash(t *testing.T) (*HashTable, Memory, *alloc.Arena) {
+	t.Helper()
+	m := newFlatMem()
+	a := alloc.MustNew(arenaBase, arenaSize)
+	h, err := NewHashTable(m, a, headerAddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m, a
+}
+
+func newTree(t *testing.T) (*RBTree, Memory, *alloc.Arena) {
+	t.Helper()
+	m := newFlatMem()
+	a := alloc.MustNew(arenaBase, arenaSize)
+	tr, err := NewRBTree(m, a, headerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m, a
+}
+
+func stores(t *testing.T) map[string]Store {
+	h, _, _ := newHash(t)
+	tr, _, _ := newTree(t)
+	return map[string]Store{"hash": h, "rbtree": tr}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, st := range stores(t) {
+		want := []byte("the quick brown fox")
+		if err := st.Put(42, want); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, ok, err := st.Get(42)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Errorf("%s: Get = %q %v %v", name, got, ok, err)
+		}
+		if _, ok, _ := st.Get(43); ok {
+			t.Errorf("%s: phantom key", name)
+		}
+	}
+}
+
+func TestUpdateReplacesValue(t *testing.T) {
+	for name, st := range stores(t) {
+		st.Put(1, []byte("short"))
+		long := bytes.Repeat([]byte{7}, 4096)
+		if err := st.Put(1, long); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, _ := st.Get(1)
+		if !ok || !bytes.Equal(got, long) {
+			t.Errorf("%s: update lost", name)
+		}
+		if n, _ := st.Len(); n != 1 {
+			t.Errorf("%s: Len = %d after update, want 1", name, n)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, st := range stores(t) {
+		st.Put(5, []byte("x"))
+		ok, err := st.Delete(5)
+		if err != nil || !ok {
+			t.Fatalf("%s: delete failed", name)
+		}
+		if _, ok, _ := st.Get(5); ok {
+			t.Errorf("%s: deleted key still readable", name)
+		}
+		if ok, _ := st.Delete(5); ok {
+			t.Errorf("%s: double delete reported success", name)
+		}
+		if n, _ := st.Len(); n != 0 {
+			t.Errorf("%s: Len = %d, want 0", name, n)
+		}
+	}
+}
+
+func TestManyKeysAgainstModel(t *testing.T) {
+	for name, st := range stores(t) {
+		rng := rand.New(rand.NewSource(99))
+		model := map[uint64][]byte{}
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0:
+				v := make([]byte, 1+rng.Intn(200))
+				valFill(v, k, i)
+				if err := st.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			case 1:
+				got, ok, err := st.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wok := model[k]
+				if ok != wok || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("%s: Get(%d) diverged from model at op %d", name, k, i)
+				}
+			case 2:
+				ok, err := st.Delete(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, wok := model[k]
+				if ok != wok {
+					t.Fatalf("%s: Delete(%d) = %v, model %v", name, k, ok, wok)
+				}
+				delete(model, k)
+			}
+		}
+		if n, _ := st.Len(); n != uint64(len(model)) {
+			t.Errorf("%s: Len = %d, model %d", name, n, len(model))
+		}
+		for k, want := range model {
+			got, ok, _ := st.Get(k)
+			if !ok || !bytes.Equal(got, want) {
+				t.Errorf("%s: final check failed for key %d", name, k)
+			}
+		}
+	}
+}
+
+func TestRBTreeInvariantsUnderChurn(t *testing.T) {
+	tr, _, _ := newTree(t)
+	rng := rand.New(rand.NewSource(5))
+	live := map[uint64]bool{}
+	val := []byte{1}
+	for i := 0; i < 1500; i++ {
+		k := uint64(rng.Intn(200))
+		if rng.Intn(2) == 0 {
+			if err := tr.Put(k, val); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = true
+		} else {
+			tr.Delete(k)
+			delete(live, k)
+		}
+		if i%50 == 0 {
+			if _, err := tr.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if _, err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tr.Len(); n != uint64(len(live)) {
+		t.Errorf("Len = %d, want %d", n, len(live))
+	}
+}
+
+func TestRBTreeSortedInsertAndReverseDelete(t *testing.T) {
+	tr, _, _ := newTree(t)
+	val := []byte{9}
+	for k := uint64(0); k < 200; k++ {
+		if err := tr.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.checkInvariants(); err != nil {
+		t.Fatalf("after sorted insert: %v", err)
+	}
+	for k := uint64(199); ; k-- {
+		if ok, _ := tr.Delete(k); !ok {
+			t.Fatalf("missing key %d", k)
+		}
+		if k == 0 {
+			break
+		}
+	}
+	if n, _ := tr.Len(); n != 0 {
+		t.Errorf("Len = %d after full delete", n)
+	}
+}
+
+func TestOpenReattaches(t *testing.T) {
+	h, m, a := newHash(t)
+	h.Put(7, []byte("persisted"))
+	h2, err := OpenHashTable(m, a, headerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := h2.Get(7)
+	if !ok || string(got) != "persisted" {
+		t.Error("reattached hash table lost data")
+	}
+
+	tr, m2, a2 := newTree(t)
+	tr.Put(8, []byte("treed"))
+	tr2, err := OpenRBTree(m2, a2, headerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = tr2.Get(8)
+	if !ok || string(got) != "treed" {
+		t.Error("reattached tree lost data")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	m := newFlatMem()
+	a := alloc.MustNew(arenaBase, arenaSize)
+	if _, err := OpenHashTable(m, a, headerAddr); err == nil {
+		t.Error("opened hash table over garbage")
+	}
+	if _, err := OpenRBTree(m, a, headerAddr); err == nil {
+		t.Error("opened rbtree over garbage")
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	for name, st := range stores(t) {
+		s, err := RunMix(st, DefaultMix, 1000, 64, 128, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.ExecutedOperations != 1000 {
+			t.Errorf("%s: executed %d", name, s.ExecutedOperations)
+		}
+		if s.Inserts == 0 || s.Searches == 0 || s.Deletes == 0 {
+			t.Errorf("%s: degenerate mix: %+v", name, s)
+		}
+		if s.Hits == 0 {
+			t.Errorf("%s: no search ever hit", name)
+		}
+	}
+}
+
+func TestRunMixValidation(t *testing.T) {
+	h, _, _ := newHash(t)
+	if _, err := RunMix(h, Mix{50, 50, 50}, 10, 8, 8, 1); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if _, err := RunMix(h, DefaultMix, 10, 0, 8, 1); err == nil {
+		t.Error("zero value size accepted")
+	}
+}
+
+func TestEmptyValueRejected(t *testing.T) {
+	for name, st := range stores(t) {
+		if err := st.Put(1, nil); err == nil {
+			t.Errorf("%s: empty value accepted", name)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mix describes the transaction mix of the storage benchmarks: the paper's
+// key-value stores perform search, insert and delete operations (§5.1).
+type Mix struct {
+	SearchPct int
+	InsertPct int
+	DeletePct int
+}
+
+// DefaultMix is search-heavy with enough inserts to grow the store,
+// mirroring typical KV benchmark mixes.
+var DefaultMix = Mix{SearchPct: 50, InsertPct: 35, DeletePct: 15}
+
+// Validate reports mix errors.
+func (m Mix) Validate() error {
+	if m.SearchPct < 0 || m.InsertPct < 0 || m.DeletePct < 0 ||
+		m.SearchPct+m.InsertPct+m.DeletePct != 100 {
+		return fmt.Errorf("kv: mix must be non-negative and sum to 100, got %+v", m)
+	}
+	return nil
+}
+
+// TxStats reports what a transaction run did.
+type TxStats struct {
+	Searches, Hits     uint64
+	Inserts            uint64
+	Deletes, Deleted   uint64
+	BytesWritten       uint64
+	BytesRead          uint64
+	ExecutedOperations uint64
+}
+
+// valFill writes a deterministic value pattern for key k, op i.
+func valFill(buf []byte, k uint64, i int) {
+	seed := byte(k*31 + uint64(i)*7 + 1)
+	for j := range buf {
+		buf[j] = seed + byte(j)
+	}
+}
+
+// RunMix executes ops transactions of the given mix against st: keys are
+// drawn uniformly from [0, keys), values are valSize bytes. Deterministic
+// for a given seed. It returns statistics; the first error aborts the run.
+func RunMix(st Store, mix Mix, ops int, valSize int, keys uint64, seed int64) (TxStats, error) {
+	return RunMixPaused(st, mix, ops, valSize, keys, seed, nil)
+}
+
+// RunMixPaused is RunMix with a pause callback invoked between
+// transactions — the quiescent points where the harness may checkpoint
+// (sim.Machine.CheckpointIfDue) so that epoch boundaries never split a
+// transaction's program-state update.
+func RunMixPaused(st Store, mix Mix, ops int, valSize int, keys uint64, seed int64, pause func()) (TxStats, error) {
+	var s TxStats
+	if err := mix.Validate(); err != nil {
+		return s, err
+	}
+	if valSize <= 0 || keys == 0 {
+		return s, fmt.Errorf("kv: valSize and keys must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valSize)
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Int63n(int64(keys)))
+		p := rng.Intn(100)
+		switch {
+		case p < mix.SearchPct:
+			got, ok, err := st.Get(k)
+			if err != nil {
+				return s, err
+			}
+			s.Searches++
+			if ok {
+				s.Hits++
+				s.BytesRead += uint64(len(got))
+			}
+		case p < mix.SearchPct+mix.InsertPct:
+			valFill(val, k, i)
+			if err := st.Put(k, val); err != nil {
+				return s, err
+			}
+			s.Inserts++
+			s.BytesWritten += uint64(valSize)
+		default:
+			ok, err := st.Delete(k)
+			if err != nil {
+				return s, err
+			}
+			s.Deletes++
+			if ok {
+				s.Deleted++
+			}
+		}
+		s.ExecutedOperations++
+		if pause != nil {
+			pause()
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,383 @@
+package mem
+
+// bank models one independently timed device bank.
+//
+// Both row-buffer state and occupancy are tracked separately for the read
+// stream and the write stream, approximating a read-priority controller
+// with write draining (as in the gem5 DRAM model the paper evaluates on):
+// posted writes are batched and drained during read-idle slots, so a write
+// burst neither destroys the read stream's row locality nor holds reads
+// behind it; writes still serialize against each other — so checkpoint
+// write-back traffic does contend with the program's own writes — and
+// still pay NVM's dirty-row-miss penalty when the write stream moves to a
+// new row.
+type bank struct {
+	readRow       int64 // open row as seen by reads; -1 when none
+	writeRow      int64 // last row targeted by the write stream; -1 when none
+	writeRowDirty bool  // the write row holds unwritten-back modifications
+	readReadyAt   Cycle // earliest cycle the bank can begin a new read
+	writeReadyAt  Cycle // earliest cycle the bank can begin draining a write
+}
+
+// pendingWrite is a posted write that has been scheduled on a bank but is
+// not yet durable (its completion lies in the future).
+type pendingWrite struct {
+	addr uint64
+	data []byte
+	done Cycle
+}
+
+// DeviceStats aggregates traffic and timing counters for one device.
+type DeviceStats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	RowHits      uint64
+	RowMisses    uint64
+	// BytesBySource breaks write bytes down by originator (Figure 8).
+	BytesBySource [numWriteSources]uint64
+}
+
+// Device is a banked memory device with row-buffer timing, byte-accurate
+// contents and a posted write queue.
+//
+// Reads are blocking: Read returns the completion cycle. Writes are posted:
+// they occupy bank time and become durable at their completion cycle, but
+// the issuer continues immediately unless the write queue is full.
+// On a crash, writes that have not completed are lost; volatile devices
+// additionally lose all contents.
+type Device struct {
+	spec    DeviceSpec
+	banks   []bank
+	store   *Storage
+	pending []pendingWrite
+	stats   DeviceStats
+}
+
+// NewDevice creates a device with the given spec and empty contents.
+func NewDevice(spec DeviceSpec) *Device {
+	if spec.Banks <= 0 {
+		spec.Banks = 1
+	}
+	if spec.RowBytes == 0 {
+		spec.RowBytes = 8 * 1024
+	}
+	if spec.WriteQueueCap <= 0 {
+		spec.WriteQueueCap = 64
+	}
+	d := &Device{
+		spec:  spec,
+		banks: make([]bank, spec.Banks),
+		store: NewStorage(),
+	}
+	for i := range d.banks {
+		d.banks[i].readRow = -1
+		d.banks[i].writeRow = -1
+	}
+	return d
+}
+
+// Spec returns the device's timing specification.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Stats returns a copy of the device's counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// ResetStats zeroes the counters without touching contents or timing state.
+func (d *Device) ResetStats() { d.stats = DeviceStats{} }
+
+func (d *Device) bankOf(addr uint64) (*bank, int64) {
+	row := int64(addr / d.spec.RowBytes)
+	return &d.banks[uint64(row)%uint64(len(d.banks))], row
+}
+
+// access performs one timed bank access covering [addr, addr+n) and returns
+// when it completes. The caller guarantees the range stays within one block.
+func (d *Device) access(now Cycle, addr uint64, write bool) (done Cycle) {
+	b, row := d.bankOf(addr)
+	ready := b.readReadyAt
+	if write {
+		ready = b.writeReadyAt
+	}
+	start := maxCycle(now, ready)
+	var lat Cycle
+	if write {
+		if b.writeRow == row {
+			lat = d.spec.RowHit
+			d.stats.RowHits++
+		} else {
+			if b.writeRowDirty {
+				lat = d.spec.RowMissDirty
+			} else {
+				lat = d.spec.RowMissClean
+			}
+			d.stats.RowMisses++
+			b.writeRow = row
+			b.writeRowDirty = false
+		}
+		b.writeRowDirty = true
+	} else {
+		if b.readRow == row {
+			lat = d.spec.RowHit
+			d.stats.RowHits++
+		} else {
+			lat = d.spec.RowMissClean
+			d.stats.RowMisses++
+			b.readRow = row
+		}
+	}
+	done = start + lat
+	if write {
+		b.writeReadyAt = done
+	} else {
+		b.readReadyAt = done
+	}
+	return done
+}
+
+// settle applies every pending write that has completed by cycle now.
+func (d *Device) settle(now Cycle) {
+	if len(d.pending) == 0 {
+		return
+	}
+	kept := d.pending[:0]
+	for _, pw := range d.pending {
+		if pw.done <= now {
+			d.store.Write(pw.addr, pw.data)
+		} else {
+			kept = append(kept, pw)
+		}
+	}
+	d.pending = kept
+}
+
+// Read performs a blocking read of len(buf) bytes at addr and returns the
+// completion cycle. Data still in the posted write queue is forwarded.
+func (d *Device) Read(now Cycle, addr uint64, buf []byte) Cycle {
+	d.settle(now)
+	done := now
+	// One bank access per touched block.
+	for a := BlockAlign(addr); a < addr+uint64(len(buf)); a += BlockSize {
+		if c := d.access(now, a, false); c > done {
+			done = c
+		}
+	}
+	d.store.Read(addr, buf)
+	// Forward younger posted writes over the stored bytes, oldest first so
+	// the newest write to an overlapping range wins.
+	for _, pw := range d.pending {
+		forward(addr, buf, pw.addr, pw.data)
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(buf))
+	return done
+}
+
+// ReadBackground performs a low-priority read of len(buf) bytes at addr:
+// checkpointing, migration and consolidation transfers that a real
+// controller schedules into otherwise-idle device slots, behind demand
+// reads. It occupies the bank's background (write-drain) port, so it
+// contends with writes and other background work but never delays demand
+// reads; it does not disturb the demand-read row state.
+func (d *Device) ReadBackground(now Cycle, addr uint64, buf []byte) Cycle {
+	d.settle(now)
+	done := now
+	for a := BlockAlign(addr); a < addr+uint64(len(buf)); a += BlockSize {
+		b, row := d.bankOf(a)
+		start := maxCycle(now, b.writeReadyAt)
+		lat := d.spec.RowMissClean
+		if row == b.readRow || row == b.writeRow {
+			lat = d.spec.RowHit
+			d.stats.RowHits++
+		} else {
+			d.stats.RowMisses++
+		}
+		c := start + lat
+		b.writeReadyAt = c
+		if c > done {
+			done = c
+		}
+	}
+	d.store.Read(addr, buf)
+	for _, pw := range d.pending {
+		forward(addr, buf, pw.addr, pw.data)
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(buf))
+	return done
+}
+
+// forward overlays src data (at srcAddr) onto dst (at dstAddr) where the
+// two ranges overlap.
+func forward(dstAddr uint64, dst []byte, srcAddr uint64, src []byte) {
+	lo := dstAddr
+	if srcAddr > lo {
+		lo = srcAddr
+	}
+	hi := dstAddr + uint64(len(dst))
+	if e := srcAddr + uint64(len(src)); e < hi {
+		hi = e
+	}
+	if lo >= hi {
+		return
+	}
+	copy(dst[lo-dstAddr:hi-dstAddr], src[lo-srcAddr:hi-srcAddr])
+}
+
+// Write posts a write of data at addr, tagged with its traffic source.
+// It returns the cycle at which the issuer may proceed: normally now, or
+// later if the write queue was full and the issuer had to stall for the
+// oldest write to drain. The write becomes durable at its (internal)
+// completion cycle; Flush exposes that instant.
+func (d *Device) Write(now Cycle, addr uint64, data []byte, src WriteSource) (ack Cycle) {
+	ack, _ = d.WriteAt(now, now, addr, data, src)
+	return ack
+}
+
+// WriteWithCompletion posts a write like Write and additionally reports the
+// cycle at which it becomes durable. Checkpointing code uses the completion
+// to order its commit record after the data it covers.
+func (d *Device) WriteWithCompletion(now Cycle, addr uint64, data []byte, src WriteSource) (ack, done Cycle) {
+	return d.WriteAt(now, now, addr, data, src)
+}
+
+// WriteAt posts a write at wall-clock cycle now that may not issue to the
+// banks before issueAt. The distinction matters for background work: a
+// checkpoint commit record is posted while the processor is at `now` but
+// must not reach the device before the data it covers (`issueAt`). Wall
+// clock drives the settle and queue-occupancy logic — a write scheduled in
+// the future must stay in the pending queue so that a crash before its
+// completion still discards it.
+func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src WriteSource) (ack, done Cycle) {
+	d.settle(now)
+	ack = now
+	if len(d.pending) >= d.spec.WriteQueueCap {
+		// Stall until the oldest outstanding write completes.
+		oldest := d.pending[0].done
+		for _, pw := range d.pending {
+			if pw.done < oldest {
+				oldest = pw.done
+			}
+		}
+		if oldest > ack {
+			ack = oldest
+		}
+		d.settle(ack)
+	}
+	start := ack
+	if issueAt > start {
+		start = issueAt
+	}
+	done = start
+	for a := BlockAlign(addr); a < addr+uint64(len(data)); a += BlockSize {
+		if c := d.access(start, a, true); c > done {
+			done = c
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.pending = append(d.pending, pendingWrite{addr: addr, data: cp, done: done})
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(data))
+	if src >= 0 && src < numWriteSources {
+		d.stats.BytesBySource[src] += uint64(len(data))
+	}
+	return ack, done
+}
+
+// Flush blocks until every posted write is durable and returns that cycle.
+func (d *Device) Flush(now Cycle) Cycle {
+	done := now
+	for _, pw := range d.pending {
+		if pw.done > done {
+			done = pw.done
+		}
+	}
+	d.settle(done)
+	return done
+}
+
+// MaxPendingDone returns the completion cycle of the latest outstanding
+// posted write, or now if none. Checkpointing uses it to order its commit
+// record after the whole write queue (the paper's "flush the NVM write
+// queue" step) without stalling the issuer.
+func (d *Device) MaxPendingDone(now Cycle) Cycle {
+	max := now
+	for _, pw := range d.pending {
+		if pw.done > max {
+			max = pw.done
+		}
+	}
+	return max
+}
+
+// PendingWrites reports how many posted writes are not yet durable at now.
+func (d *Device) PendingWrites(now Cycle) int {
+	d.settle(now)
+	return len(d.pending)
+}
+
+// Crash models a power failure at cycle at: posted writes that have not
+// completed are lost, and volatile devices lose all contents. Bank timing
+// state resets (rows closed).
+func (d *Device) Crash(at Cycle) {
+	// Apply writes durable by the crash instant in posting order (same-
+	// address writes serialize on the same bank, so posting order matches
+	// durability order there), drop the rest.
+	for _, pw := range d.pending {
+		if pw.done <= at {
+			d.store.Write(pw.addr, pw.data)
+		}
+	}
+	d.pending = nil
+	if d.spec.Volatile {
+		d.store.Clear()
+	}
+	for i := range d.banks {
+		d.banks[i] = bank{readRow: -1, writeRow: -1}
+	}
+}
+
+// Peek reads contents as they would be after all posted writes drain,
+// without advancing time. It is intended for debugging and verification.
+func (d *Device) Peek(addr uint64, buf []byte) {
+	d.store.Read(addr, buf)
+	for _, pw := range d.pending {
+		forward(addr, buf, pw.addr, pw.data)
+	}
+}
+
+// Poke writes contents directly, bypassing timing. It is intended for
+// test setup and recovery bootstrapping (e.g. pre-loading images).
+func (d *Device) Poke(addr uint64, data []byte) {
+	d.store.Write(addr, data)
+}
+
+// DurableSnapshot returns a deep copy of the durable contents only
+// (posted-but-incomplete writes excluded), as a crash at `at` would leave
+// them. The device itself is not modified.
+func (d *Device) DurableSnapshot(at Cycle) *Storage {
+	s := d.store.Clone()
+	for _, pw := range d.pending {
+		if pw.done <= at {
+			s.Write(pw.addr, pw.data)
+		}
+	}
+	return s
+}
+
+// BusyUntil returns the latest cycle at which any bank is still busy; used
+// by drivers to account device occupancy.
+func (d *Device) BusyUntil() Cycle {
+	var m Cycle
+	for i := range d.banks {
+		if d.banks[i].readReadyAt > m {
+			m = d.banks[i].readReadyAt
+		}
+		if d.banks[i].writeReadyAt > m {
+			m = d.banks[i].writeReadyAt
+		}
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package mem
+
+// Storage is a sparse, byte-accurate backing store for a device's hardware
+// address space. Pages are allocated lazily and unwritten bytes read as
+// zero, so a multi-gigabyte address space costs only what is touched.
+type Storage struct {
+	chunks map[uint64][]byte
+}
+
+// storageChunk is the allocation unit of Storage.
+const storageChunk = PageSize
+
+// NewStorage returns an empty storage.
+func NewStorage() *Storage {
+	return &Storage{chunks: make(map[uint64][]byte)}
+}
+
+// Read copies len(buf) bytes starting at addr into buf.
+func (s *Storage) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		base := addr / storageChunk
+		off := int(addr % storageChunk)
+		n := storageChunk - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if c, ok := s.chunks[base]; ok {
+			copy(buf[:n], c[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies data into storage starting at addr.
+func (s *Storage) Write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		base := addr / storageChunk
+		off := int(addr % storageChunk)
+		n := storageChunk - off
+		if n > len(data) {
+			n = len(data)
+		}
+		c, ok := s.chunks[base]
+		if !ok {
+			c = make([]byte, storageChunk)
+			s.chunks[base] = c
+		}
+		copy(c[off:off+n], data[:n])
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Clear discards all contents (a volatile device losing power).
+func (s *Storage) Clear() {
+	s.chunks = make(map[uint64][]byte)
+}
+
+// FootprintBytes reports how many bytes of backing memory have been touched.
+func (s *Storage) FootprintBytes() uint64 {
+	return uint64(len(s.chunks)) * storageChunk
+}
+
+// Clone returns a deep copy of the storage, used by the verification oracle
+// to snapshot durable state at commit points.
+func (s *Storage) Clone() *Storage {
+	c := NewStorage()
+	for base, chunk := range s.chunks {
+		dup := make([]byte, storageChunk)
+		copy(dup, chunk)
+		c.chunks[base] = dup
+	}
+	return c
+}
+
+// Equal reports whether two storages hold identical contents over all
+// touched addresses of either.
+func (s *Storage) Equal(o *Storage) bool {
+	var zero [storageChunk]byte
+	for base, chunk := range s.chunks {
+		oc, ok := o.chunks[base]
+		if !ok {
+			oc = zero[:]
+		}
+		if !bytesEqual(chunk, oc) {
+			return false
+		}
+	}
+	for base, chunk := range o.chunks {
+		if _, ok := s.chunks[base]; !ok {
+			if !bytesEqual(chunk, zero[:]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorageReadWriteRoundTrip(t *testing.T) {
+	s := NewStorage()
+	data := []byte("hello, persistent world")
+	s.Write(100, data)
+	got := make([]byte, len(data))
+	s.Read(100, got)
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip failed: got %q want %q", got, data)
+	}
+}
+
+func TestStorageZeroFill(t *testing.T) {
+	s := NewStorage()
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	s.Read(1<<30, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("untouched byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestStorageCrossChunkWrite(t *testing.T) {
+	s := NewStorage()
+	data := make([]byte, 3*storageChunk)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Start mid-chunk so the write spans four chunks.
+	start := uint64(storageChunk / 2)
+	s.Write(start, data)
+	got := make([]byte, len(data))
+	s.Read(start, got)
+	if !bytes.Equal(got, data) {
+		t.Error("cross-chunk round trip failed")
+	}
+}
+
+func TestStorageOverwrite(t *testing.T) {
+	s := NewStorage()
+	s.Write(0, []byte{1, 2, 3, 4})
+	s.Write(2, []byte{9, 9})
+	got := make([]byte, 4)
+	s.Read(0, got)
+	want := []byte{1, 2, 9, 9}
+	if !bytes.Equal(got, want) {
+		t.Errorf("overwrite: got %v want %v", got, want)
+	}
+}
+
+func TestStorageClear(t *testing.T) {
+	s := NewStorage()
+	s.Write(0, []byte{1})
+	s.Clear()
+	got := make([]byte, 1)
+	s.Read(0, got)
+	if got[0] != 0 {
+		t.Error("Clear did not wipe contents")
+	}
+	if s.FootprintBytes() != 0 {
+		t.Error("Clear did not reset footprint")
+	}
+}
+
+func TestStorageCloneIsDeep(t *testing.T) {
+	s := NewStorage()
+	s.Write(10, []byte{42})
+	c := s.Clone()
+	s.Write(10, []byte{7})
+	got := make([]byte, 1)
+	c.Read(10, got)
+	if got[0] != 42 {
+		t.Error("Clone shares backing memory with original")
+	}
+}
+
+func TestStorageEqual(t *testing.T) {
+	a, b := NewStorage(), NewStorage()
+	if !a.Equal(b) {
+		t.Error("empty storages should be equal")
+	}
+	a.Write(5, []byte{1})
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("differing storages reported equal")
+	}
+	b.Write(5, []byte{1})
+	if !a.Equal(b) {
+		t.Error("identical storages reported unequal")
+	}
+	// A touched-but-zero chunk must compare equal to an untouched one.
+	a.Write(1<<20, []byte{0, 0, 0})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("zero-filled chunk should equal untouched chunk")
+	}
+}
+
+func TestStorageFootprint(t *testing.T) {
+	s := NewStorage()
+	s.Write(0, []byte{1})
+	s.Write(storageChunk*5, []byte{1})
+	if got := s.FootprintBytes(); got != 2*storageChunk {
+		t.Errorf("FootprintBytes = %d, want %d", got, 2*storageChunk)
+	}
+}
+
+func TestStorageQuickRoundTrip(t *testing.T) {
+	prop := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 64*1024 {
+			data = data[:64*1024]
+		}
+		s := NewStorage()
+		s.Write(uint64(addr), data)
+		got := make([]byte, len(data))
+		s.Read(uint64(addr), got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package mem provides the memory-device substrate for the ThyNVM
+// simulator: cycle/time units, device timing specifications, byte-accurate
+// backing storage, and banked DRAM/NVM device models with row-buffer timing
+// and posted write queues.
+//
+// Timing parameters follow Table 2 of the ThyNVM paper (MICRO-48, 2015):
+// a 3 GHz core clock, DDR3-1600-like DRAM (40/80 ns row hit/miss) and NVM
+// with 40 ns row hits and 128/368 ns clean/dirty row misses.
+package mem
+
+import "fmt"
+
+// Cycle counts CPU clock cycles. The simulated core runs at 3 GHz, so one
+// nanosecond is three cycles.
+type Cycle uint64
+
+// CyclesPerNs is the clock rate of the simulated core in cycles per
+// nanosecond (3 GHz).
+const CyclesPerNs = 3
+
+// FromNs converts a duration in nanoseconds into CPU cycles.
+func FromNs(ns uint64) Cycle { return Cycle(ns * CyclesPerNs) }
+
+// Nanoseconds converts a cycle count back into nanoseconds.
+func (c Cycle) Nanoseconds() float64 { return float64(c) / CyclesPerNs }
+
+// Seconds converts a cycle count into seconds of simulated time.
+func (c Cycle) Seconds() float64 { return float64(c) / (CyclesPerNs * 1e9) }
+
+// String renders the cycle count with a time equivalent, e.g. "3000 cyc (1.0 us)".
+func (c Cycle) String() string {
+	return fmt.Sprintf("%d cyc (%.3g us)", uint64(c), c.Nanoseconds()/1e3)
+}
+
+// MaxCycle is the largest representable cycle, used as "never".
+const MaxCycle = Cycle(^uint64(0))
+
+// Memory geometry constants shared across the whole simulator.
+const (
+	// BlockSize is the cache-block size in bytes; both the CPU caches and
+	// the block-remapping checkpoint scheme operate at this granularity.
+	BlockSize = 64
+	// PageSize is the page size in bytes used by the page-writeback
+	// checkpoint scheme and the OS view of memory.
+	PageSize = 4096
+	// BlocksPerPage is the number of cache blocks per page.
+	BlocksPerPage = PageSize / BlockSize
+)
+
+// BlockAlign rounds addr down to a cache-block boundary.
+func BlockAlign(addr uint64) uint64 { return addr &^ (BlockSize - 1) }
+
+// PageAlign rounds addr down to a page boundary.
+func PageAlign(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// BlockIndex returns the global cache-block index of addr.
+func BlockIndex(addr uint64) uint64 { return addr / BlockSize }
+
+// PageIndex returns the global page index of addr.
+func PageIndex(addr uint64) uint64 { return addr / PageSize }
+
+// BlockInPage returns the index of addr's cache block within its page.
+func BlockInPage(addr uint64) int { return int(addr % PageSize / BlockSize) }
+
+func maxCycle(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNs(t *testing.T) {
+	if got := FromNs(40); got != 120 {
+		t.Errorf("FromNs(40) = %d, want 120", got)
+	}
+	if got := FromNs(0); got != 0 {
+		t.Errorf("FromNs(0) = %d, want 0", got)
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	c := FromNs(1000)
+	if ns := c.Nanoseconds(); ns != 1000 {
+		t.Errorf("Nanoseconds = %g, want 1000", ns)
+	}
+	if s := c.Seconds(); s != 1e-6 {
+		t.Errorf("Seconds = %g, want 1e-6", s)
+	}
+}
+
+func TestAlignmentHelpers(t *testing.T) {
+	cases := []struct {
+		addr            uint64
+		blockA, pageA   uint64
+		blockI, pageI   uint64
+		blockInPageWant int
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{63, 0, 0, 0, 0, 0},
+		{64, 64, 0, 1, 0, 1},
+		{4095, 4032, 0, 63, 0, 63},
+		{4096, 4096, 4096, 64, 1, 0},
+		{4096 + 65, 4096 + 64, 4096, 65, 1, 1},
+	}
+	for _, c := range cases {
+		if got := BlockAlign(c.addr); got != c.blockA {
+			t.Errorf("BlockAlign(%d) = %d, want %d", c.addr, got, c.blockA)
+		}
+		if got := PageAlign(c.addr); got != c.pageA {
+			t.Errorf("PageAlign(%d) = %d, want %d", c.addr, got, c.pageA)
+		}
+		if got := BlockIndex(c.addr); got != c.blockI {
+			t.Errorf("BlockIndex(%d) = %d, want %d", c.addr, got, c.blockI)
+		}
+		if got := PageIndex(c.addr); got != c.pageI {
+			t.Errorf("PageIndex(%d) = %d, want %d", c.addr, got, c.pageI)
+		}
+		if got := BlockInPage(c.addr); got != c.blockInPageWant {
+			t.Errorf("BlockInPage(%d) = %d, want %d", c.addr, got, c.blockInPageWant)
+		}
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	prop := func(addr uint64) bool {
+		b := BlockAlign(addr)
+		p := PageAlign(addr)
+		return b%BlockSize == 0 && p%PageSize == 0 &&
+			b <= addr && addr-b < BlockSize &&
+			p <= addr && addr-p < PageSize &&
+			PageAlign(b) == p &&
+			BlockInPage(addr) < BlocksPerPage
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteSourceString(t *testing.T) {
+	if SrcCPU.String() != "CPU" || SrcCheckpoint.String() != "Checkpoint" ||
+		SrcMigration.String() != "Migration" {
+		t.Error("WriteSource names do not match Figure 8 legend")
+	}
+	if WriteSource(99).String() != "Unknown" {
+		t.Error("out-of-range WriteSource should be Unknown")
+	}
+}

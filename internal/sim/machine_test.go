@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"thynvm/internal/baseline"
+	"thynvm/internal/core"
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+	"thynvm/internal/trace"
+)
+
+func thyCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.PhysBytes = 4 << 20
+	cfg.BTTEntries = 512
+	cfg.PTTEntries = 128
+	cfg.EpochLen = mem.FromNs(100_000)
+	return cfg
+}
+
+func blCfg() baseline.Config {
+	cfg := baseline.DefaultConfig()
+	cfg.PhysBytes = 4 << 20
+	cfg.EpochLen = mem.FromNs(100_000)
+	cfg.JournalEntries = 640
+	cfg.DRAMPages = 128
+	return cfg
+}
+
+func allSystems(t *testing.T) map[string]ctl.Controller {
+	t.Helper()
+	thy, err := core.New(thyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := baseline.NewIdealDRAM(blCfg())
+	in, _ := baseline.NewIdealNVM(blCfg())
+	j, _ := baseline.NewJournal(blCfg())
+	sh, _ := baseline.NewShadow(blCfg())
+	return map[string]ctl.Controller{
+		"ThyNVM": thy, "IdealDRAM": id, "IdealNVM": in, "Journal": j, "Shadow": sh,
+	}
+}
+
+func TestMachineReadWriteThroughCaches(t *testing.T) {
+	for name, ctrl := range allSystems(t) {
+		m := NewMachine(ctrl, true)
+		data := []byte("hello crash consistency")
+		m.Write(100, data)
+		got := make([]byte, len(data))
+		m.Read(100, got)
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: round trip failed", name)
+		}
+	}
+}
+
+func TestMachineUnalignedMultiBlockAccess(t *testing.T) {
+	m := NewMachine(core.MustNew(thyCfg()), true)
+	data := make([]byte, 5000) // spans many blocks, unaligned start
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.Write(4000, data)
+	got := make([]byte, len(data))
+	m.Read(4000, got)
+	if !bytes.Equal(got, data) {
+		t.Error("multi-block unaligned round trip failed")
+	}
+}
+
+func TestMachinePeekSeesDirtyCacheData(t *testing.T) {
+	m := NewMachine(core.MustNew(thyCfg()), true)
+	m.Write(64, []byte{9, 8, 7})
+	got := make([]byte, 3)
+	m.Peek(64, got)
+	if got[0] != 9 || got[1] != 8 || got[2] != 7 {
+		t.Errorf("Peek = %v, want dirty cache data", got)
+	}
+}
+
+func TestRunTraceOnAllSystems(t *testing.T) {
+	for name, ctrl := range allSystems(t) {
+		g := trace.Random(1<<20, 2000, 42)
+		m := NewMachine(ctrl, true)
+		res := RunTrace(m, g, name)
+		if res.Ops != 2000 {
+			t.Errorf("%s: ops=%d", name, res.Ops)
+		}
+		if res.Cycles == 0 || res.IPC <= 0 {
+			t.Errorf("%s: bad timing: %+v", name, res)
+		}
+		if res.Instructions < res.Ops {
+			t.Errorf("%s: instructions (%d) < ops (%d)", name, res.Instructions, res.Ops)
+		}
+	}
+}
+
+func TestCheckpointsHappenDuringTrace(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	res := RunTrace(m, trace.Random(1<<20, 5000, 1), "ThyNVM")
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoints over a long trace with 100us epochs")
+	}
+	if res.Ctrl.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+}
+
+func TestIdealDRAMFasterThanIdealNVMOnRandom(t *testing.T) {
+	id, _ := baseline.NewIdealDRAM(blCfg())
+	in, _ := baseline.NewIdealNVM(blCfg())
+	rd := RunTrace(NewMachine(id, true), trace.Random(1<<20, 3000, 3), "IdealDRAM")
+	rn := RunTrace(NewMachine(in, true), trace.Random(1<<20, 3000, 3), "IdealNVM")
+	if rd.Cycles >= rn.Cycles {
+		t.Errorf("Ideal DRAM (%d cyc) should beat Ideal NVM (%d cyc) on random misses",
+			rd.Cycles, rn.Cycles)
+	}
+}
+
+func TestCrashRecoveryRestoresCoreAndProgramState(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	var progCounter uint64
+	var restored []byte
+	m.SetProgramState(
+		func() []byte { return []byte{byte(progCounter)} },
+		func(b []byte) error { restored = append([]byte(nil), b...); return nil },
+	)
+	// Epoch 1: some work.
+	m.Write(0, []byte{1, 2, 3})
+	m.Compute(100)
+	progCounter = 7
+	coreAtCkpt := *m.Core()
+	coreAtCkpt.ExecuteCompute(0, 0) // copy
+	m.Checkpoint()
+	m.Drain()
+	// Epoch 2: more work that will be lost.
+	m.Write(0, []byte{9, 9, 9})
+	m.Compute(1000)
+	progCounter = 8
+
+	m.CrashNow()
+	had, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !had {
+		t.Fatal("expected a committed checkpoint")
+	}
+	if len(restored) != 1 || restored[0] != 7 {
+		t.Errorf("program state restored to %v, want [7]", restored)
+	}
+	if !m.Core().Equal(&coreAtCkpt) {
+		t.Error("core state does not match the epoch boundary")
+	}
+	got := make([]byte, 3)
+	m.Read(0, got)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("memory recovered to %v, want epoch-1 data [1 2 3]", got)
+	}
+}
+
+func TestRecoveryWithoutCheckpointColdStarts(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	m.Write(0, []byte{5})
+	m.CrashNow()
+	had, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if had {
+		t.Error("no checkpoint ever committed, but recovery claims one")
+	}
+	if m.Core().Retired != 0 {
+		t.Error("cold start should reset the core")
+	}
+}
+
+func TestCheckpointStallAccounting(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	m.Write(0, bytes.Repeat([]byte{1}, 4096))
+	before := m.CheckpointStall()
+	m.Checkpoint()
+	if m.CheckpointStall() == before {
+		t.Error("checkpoint with dirty caches should cost stall time")
+	}
+	if m.FlushedBlocks() == 0 {
+		t.Error("no blocks flushed despite dirty caches")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Workload: "Random", System: "ThyNVM", Cycles: 100, IPC: 1.5}
+	if s := r.String(); s == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestDisableAutoCheckpoint(t *testing.T) {
+	cfg := thyCfg()
+	cfg.EpochLen = mem.FromNs(1_000) // tiny epochs
+	m := NewMachine(core.MustNew(cfg), true)
+	m.DisableAutoCheckpoint()
+	for i := 0; i < 2000; i++ {
+		m.Write(uint64(i%512)*mem.BlockSize, []byte{byte(i)})
+	}
+	if m.CheckpointCalls() != 0 {
+		t.Fatal("auto checkpoint fired despite being disabled")
+	}
+	m.CheckpointIfDue()
+	if m.CheckpointCalls() != 1 {
+		t.Fatal("explicit CheckpointIfDue did not fire with an expired epoch")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	res := RunTrace(m, trace.Streaming(1<<20, 1000, 5), "ThyNVM")
+	if res.Seconds() <= 0 {
+		t.Error("non-positive simulated seconds")
+	}
+	if res.NVMWriteMB() < 0 {
+		t.Error("negative traffic")
+	}
+	total := res.NVMWriteMBBy(mem.SrcCPU) + res.NVMWriteMBBy(mem.SrcCheckpoint) + res.NVMWriteMBBy(mem.SrcMigration)
+	if diff := total - res.NVMWriteMB(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-source traffic %.3f does not sum to total %.3f", total, res.NVMWriteMB())
+	}
+}
+
+func TestRunTraceResetsStatsPerRun(t *testing.T) {
+	ctrl := core.MustNew(thyCfg())
+	m := NewMachine(ctrl, true)
+	r1 := RunTrace(m, trace.Random(1<<20, 800, 1), "ThyNVM")
+	r2 := RunTrace(m, trace.Random(1<<20, 800, 1), "ThyNVM")
+	// The second run's controller counters must not include the first's.
+	if r2.Ctrl.NVM.BytesWritten > r1.Ctrl.NVM.BytesWritten*3+1<<20 {
+		t.Errorf("stats leaked across runs: %d then %d", r1.Ctrl.NVM.BytesWritten, r2.Ctrl.NVM.BytesWritten)
+	}
+}

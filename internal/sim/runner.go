@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+	"thynvm/internal/trace"
+)
+
+// Result summarizes one workload execution on one system, carrying every
+// quantity the paper's tables and figures report.
+type Result struct {
+	Workload string
+	System   string
+
+	Ops          uint64    // memory operations executed
+	Instructions uint64    // total retired instructions
+	Cycles       mem.Cycle // execution time
+	IPC          float64
+
+	// CkptStall is total execution time lost to checkpointing: harness-
+	// observed checkpoint calls (cache flush + controller begin) plus the
+	// controller's in-line checkpoint waits. PctCkpt is its share of the
+	// execution time (the "% exec time spent on ckpt" of Figure 8).
+	CkptStall mem.Cycle
+	PctCkpt   float64
+
+	// MemStall is core time lost waiting on memory.
+	MemStall mem.Cycle
+
+	Checkpoints uint64
+
+	// Ctrl carries the controller/device counters (NVM traffic breakdown,
+	// migrations, table pressure).
+	Ctrl ctl.Stats
+}
+
+// NVMWriteMB returns total NVM write traffic in megabytes.
+func (r Result) NVMWriteMB() float64 {
+	return float64(r.Ctrl.NVM.BytesWritten) / (1 << 20)
+}
+
+// NVMWriteMBBy returns NVM write traffic from one source in megabytes.
+func (r Result) NVMWriteMBBy(src mem.WriteSource) float64 {
+	return float64(r.Ctrl.NVM.BytesBySource[src]) / (1 << 20)
+}
+
+// Seconds returns the simulated execution time in seconds.
+func (r Result) Seconds() float64 { return r.Cycles.Seconds() }
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s cycles=%-12d IPC=%.3f ckpt%%=%.2f NVMwrMB=%.1f",
+		r.Workload, r.System, uint64(r.Cycles), r.IPC, r.PctCkpt*100, r.NVMWriteMB())
+	return b.String()
+}
+
+// RunTrace executes the generator's operation stream on the machine and
+// returns the measured result. Stores write deterministic data derived from
+// the operation index. The controller's stats are reset at the start so the
+// result covers exactly this workload.
+func RunTrace(m *Machine, g trace.Generator, system string) Result {
+	m.ctrl.ResetStats()
+	start := m.now
+	startInstr := m.core.Retired
+	startStallMem := m.core.StallCycles
+	startCkptStall := m.ckptCallStall
+	startCkpts := m.ckptCalls
+
+	var ops uint64
+	buf := make([]byte, mem.BlockSize)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		m.Compute(op.Compute)
+		if op.Size > len(buf) {
+			buf = make([]byte, op.Size)
+		}
+		switch op.Kind {
+		case trace.Read:
+			m.Read(op.Addr, buf[:op.Size])
+		case trace.Write:
+			for i := 0; i < op.Size; i++ {
+				buf[i] = byte(ops + uint64(i))
+			}
+			m.Write(op.Addr, buf[:op.Size])
+		}
+		ops++
+	}
+
+	cycles := m.now - start
+	st := m.ctrl.Stats()
+	ckptStall := (m.ckptCallStall - startCkptStall) + st.CkptStall
+	res := Result{
+		Workload:     g.Name(),
+		System:       system,
+		Ops:          ops,
+		Instructions: m.core.Retired - startInstr,
+		Cycles:       cycles,
+		CkptStall:    ckptStall,
+		MemStall:     m.core.StallCycles - startStallMem,
+		Checkpoints:  m.ckptCalls - startCkpts,
+		Ctrl:         st,
+	}
+	if cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(cycles)
+		res.PctCkpt = float64(ckptStall) / float64(cycles)
+	}
+	return res
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format, one operation per line:
+//
+//	R <addr> <size> [compute]
+//	W <addr> <size> [compute]
+//
+// addr accepts decimal or 0x-prefixed hex; size is in bytes; compute is
+// the optional number of compute instructions preceding the access
+// (default 0). Blank lines and lines starting with '#' are ignored.
+// This lets externally collected memory traces (e.g. from a binary
+// instrumentation tool) be replayed through the simulator.
+
+// WriteOps serializes an operation stream in the text format.
+func WriteOps(w io.Writer, g Generator) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# thynvm trace: %s\n", g.Name()); err != nil {
+		return err
+	}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		k := "R"
+		if op.Kind == Write {
+			k = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %#x %d %d\n", k, op.Addr, op.Size, op.Compute); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// replayGen replays a fixed slice of operations.
+type replayGen struct {
+	name string
+	ops  []Op
+	pos  int
+}
+
+func (g *replayGen) Name() string { return g.name }
+func (g *replayGen) Reset()       { g.pos = 0 }
+func (g *replayGen) Next() (Op, bool) {
+	if g.pos >= len(g.ops) {
+		return Op{}, false
+	}
+	op := g.ops[g.pos]
+	g.pos++
+	return op, true
+}
+
+// FromOps wraps a fixed operation slice as a Generator.
+func FromOps(name string, ops []Op) Generator {
+	cp := append([]Op(nil), ops...)
+	return &replayGen{name: name, ops: cp}
+}
+
+// ReadOps parses a text trace into a replayable Generator.
+func ReadOps(name string, r io.Reader) (Generator, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("trace: line %d: want 'R|W addr size [compute]', got %q", lineNo, line)
+		}
+		var kind Kind
+		switch fields[0] {
+		case "R", "r":
+			kind = Read
+		case "W", "w":
+			kind = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		size, err := strconv.ParseUint(fields[2], 0, 32)
+		if err != nil || size == 0 {
+			return nil, fmt.Errorf("trace: line %d: bad size %q", lineNo, fields[2])
+		}
+		var compute uint64
+		if len(fields) == 4 {
+			compute, err = strconv.ParseUint(fields[3], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad compute count: %v", lineNo, err)
+			}
+		}
+		ops = append(ops, Op{Kind: kind, Addr: addr, Size: int(size), Compute: compute})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace: no operations in input")
+	}
+	return FromOps(name, ops), nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	g := Random(1<<20, 200, 77)
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadOps("replayed", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Reset()
+	want := drain(g)
+	got := drain(loaded)
+	if len(got) != len(want) {
+		t.Fatalf("lengths: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadOpsFormat(t *testing.T) {
+	in := `# comment
+R 0x1000 64 10
+
+W 4096 8
+r 0x40 64 0
+`
+	g, err := ReadOps("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := drain(g)
+	if len(ops) != 3 {
+		t.Fatalf("%d ops, want 3", len(ops))
+	}
+	if ops[0].Kind != Read || ops[0].Addr != 0x1000 || ops[0].Size != 64 || ops[0].Compute != 10 {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Kind != Write || ops[1].Addr != 4096 || ops[1].Size != 8 || ops[1].Compute != 0 {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+}
+
+func TestReadOpsRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"X 0 64",       // unknown op
+		"R zzz 64",     // bad address
+		"R 0 0",        // zero size
+		"R 0",          // missing fields
+		"R 0 64 1 2",   // extra field
+		"R 0 64 chips", // bad compute
+		"",             // empty trace
+		"# only a comment",
+	}
+	for _, in := range bad {
+		if _, err := ReadOps("t", strings.NewReader(in)); err == nil {
+			t.Errorf("malformed trace accepted: %q", in)
+		}
+	}
+}
+
+func TestReplayGeneratorReset(t *testing.T) {
+	g := FromOps("x", []Op{{Kind: Write, Addr: 1, Size: 8}})
+	a := drain(g)
+	g.Reset()
+	b := drain(g)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Error("replay reset failed")
+	}
+}
+
+func TestFromOpsCopiesInput(t *testing.T) {
+	ops := []Op{{Kind: Read, Addr: 5, Size: 8}}
+	g := FromOps("x", ops)
+	ops[0].Addr = 999 // mutate the caller's slice
+	got := drain(g)
+	if got[0].Addr != 5 {
+		t.Error("FromOps aliases the caller's slice")
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SPEC CPU2006 stand-ins for Figure 11. The paper evaluates the eight most
+// memory-intensive SPEC applications; we synthesize each one's qualitative
+// memory profile. Parameters are chosen from the applications' published
+// characterizations: footprint scale, streaming vs. pointer-chasing
+// behavior, store fraction, and memory intensity (compute instructions per
+// memory access — lower means more pressure on the memory system).
+//
+// These traces are NOT the SPEC binaries (see DESIGN.md, substitutions);
+// they span the locality/intensity spectrum the figure requires.
+var specProfiles = map[string]Params{
+	// gcc: moderate footprint, irregular but not hostile locality.
+	"gcc": {FootprintBytes: 8 << 20, WriteFrac: 0.40, SeqFrac: 0.50, ComputePerOp: 24},
+	// bwaves: large, heavily streaming scientific code.
+	"bwaves": {FootprintBytes: 24 << 20, WriteFrac: 0.35, SeqFrac: 0.90, ComputePerOp: 8},
+	// milc: lattice QCD, large footprint, scattered accesses.
+	"milc": {FootprintBytes: 16 << 20, WriteFrac: 0.40, SeqFrac: 0.25, ComputePerOp: 10},
+	// leslie3d: structured-grid fluid dynamics, streaming with reuse.
+	"leslie3d": {FootprintBytes: 16 << 20, WriteFrac: 0.45, SeqFrac: 0.80, ComputePerOp: 9},
+	// soplex: sparse linear programming, mixed locality, read-heavy.
+	"soplex": {FootprintBytes: 12 << 20, WriteFrac: 0.25, SeqFrac: 0.40, ComputePerOp: 12},
+	// GemsFDTD: finite-difference time-domain, large streaming arrays.
+	"GemsFDTD": {FootprintBytes: 20 << 20, WriteFrac: 0.45, SeqFrac: 0.70, ComputePerOp: 8},
+	// lbm: lattice Boltzmann, the most write- and stream-intensive.
+	"lbm": {FootprintBytes: 20 << 20, WriteFrac: 0.50, SeqFrac: 0.85, ComputePerOp: 6},
+	// omnetpp: discrete event simulation, pointer chasing, poor locality.
+	"omnetpp": {FootprintBytes: 12 << 20, WriteFrac: 0.35, SeqFrac: 0.10, ComputePerOp: 14},
+}
+
+// SPECNames returns the benchmark names in the paper's Figure 11 order.
+func SPECNames() []string {
+	names := make([]string, 0, len(specProfiles))
+	for n := range specProfiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SPEC builds the synthetic trace for the named benchmark, scaled to the
+// given footprint cap and trace length.
+func SPEC(name string, maxFootprint uint64, ops int, seed int64) (Generator, error) {
+	p, ok := specProfiles[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown SPEC benchmark %q (have %v)", name, SPECNames())
+	}
+	p.Name = name
+	p.Ops = ops
+	p.Seed = seed
+	if maxFootprint > 0 && p.FootprintBytes > maxFootprint {
+		p.FootprintBytes = maxFootprint
+	}
+	return New(p)
+}

@@ -1,0 +1,197 @@
+// Package trace generates the memory-access workloads of the ThyNVM
+// evaluation: the three micro-benchmarks with controlled access patterns
+// (§5.2: Random, Streaming, Sliding, each with 1:1 read/write ratio) and
+// synthetic stand-ins for the eight memory-intensive SPEC CPU2006
+// applications of Figure 11.
+//
+// The SPEC substitution (documented in DESIGN.md): we do not execute SPEC
+// binaries; each generator is parameterized to the qualitative memory
+// profile of its namesake — footprint, spatial locality, write fraction and
+// memory intensity — which is what the evaluation's conclusions depend on.
+// All generators are deterministic for a given seed.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thynvm/internal/mem"
+)
+
+// Kind distinguishes loads from stores.
+type Kind int
+
+const (
+	// Read is a load.
+	Read Kind = iota
+	// Write is a store.
+	Write
+)
+
+// Op is one memory operation of a workload: Compute instructions execute
+// before the access of Size bytes at Addr.
+type Op struct {
+	Kind    Kind
+	Addr    uint64
+	Size    int
+	Compute uint64
+}
+
+// Generator produces a deterministic stream of operations.
+type Generator interface {
+	// Name identifies the workload ("Random", "lbm", ...).
+	Name() string
+	// Next returns the next operation; ok is false when the trace ends.
+	Next() (op Op, ok bool)
+	// Reset rewinds the generator to reproduce the same stream.
+	Reset()
+}
+
+// Params fully describes a synthetic workload.
+type Params struct {
+	// Name labels the workload.
+	Name string
+	// FootprintBytes is the size of the touched address range; addresses
+	// are generated within [Base, Base+FootprintBytes).
+	FootprintBytes uint64
+	// Base offsets the address range.
+	Base uint64
+	// Ops is the trace length in memory operations.
+	Ops int
+	// WriteFrac is the fraction of operations that are stores.
+	WriteFrac float64
+	// SeqFrac is the fraction of accesses that continue a sequential run;
+	// the rest jump to a random block (spatial locality knob).
+	SeqFrac float64
+	// WindowBytes, when nonzero, confines random accesses to a sliding
+	// window that advances WindowStep bytes every WindowPeriod operations
+	// (the paper's Sliding pattern).
+	WindowBytes  uint64
+	WindowStep   uint64
+	WindowPeriod int
+	// ComputePerOp is the number of compute instructions between memory
+	// operations (memory intensity knob; lower = more intensive).
+	ComputePerOp uint64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.FootprintBytes < mem.BlockSize {
+		return fmt.Errorf("trace: footprint %d smaller than one block", p.FootprintBytes)
+	}
+	if p.Ops <= 0 {
+		return fmt.Errorf("trace: Ops must be positive")
+	}
+	if p.WriteFrac < 0 || p.WriteFrac > 1 || p.SeqFrac < 0 || p.SeqFrac > 1 {
+		return fmt.Errorf("trace: fractions must be in [0,1]")
+	}
+	if p.WindowBytes > 0 && p.WindowBytes > p.FootprintBytes {
+		return fmt.Errorf("trace: window larger than footprint")
+	}
+	return nil
+}
+
+// gen implements Generator for Params.
+type gen struct {
+	p       Params
+	rng     *rand.Rand
+	emitted int
+	cursor  uint64 // next sequential block offset
+	window  uint64 // sliding window base offset
+}
+
+// New builds a Generator from params.
+func New(p Params) (Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{p: p}
+	g.Reset()
+	return g, nil
+}
+
+// MustNew builds a Generator and panics on invalid params (test/benchmark
+// convenience for known-good literals).
+func MustNew(p Params) Generator {
+	g, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *gen) Name() string { return g.p.Name }
+
+func (g *gen) Reset() {
+	g.rng = rand.New(rand.NewSource(g.p.Seed))
+	g.emitted = 0
+	g.cursor = 0
+	g.window = 0
+}
+
+func (g *gen) Next() (Op, bool) {
+	if g.emitted >= g.p.Ops {
+		return Op{}, false
+	}
+	blocks := g.p.FootprintBytes / mem.BlockSize
+	var off uint64
+	seq := g.rng.Float64() < g.p.SeqFrac
+	if seq {
+		off = g.cursor
+		g.cursor = (g.cursor + mem.BlockSize) % g.p.FootprintBytes
+	} else if g.p.WindowBytes > 0 {
+		wblocks := g.p.WindowBytes / mem.BlockSize
+		off = (g.window + uint64(g.rng.Int63n(int64(wblocks)))*mem.BlockSize) % g.p.FootprintBytes
+	} else {
+		off = uint64(g.rng.Int63n(int64(blocks))) * mem.BlockSize
+	}
+	if g.p.WindowBytes > 0 && g.p.WindowPeriod > 0 && g.emitted > 0 && g.emitted%g.p.WindowPeriod == 0 {
+		g.window = (g.window + g.p.WindowStep) % g.p.FootprintBytes
+	}
+	kind := Read
+	if g.rng.Float64() < g.p.WriteFrac {
+		kind = Write
+	}
+	g.emitted++
+	return Op{
+		Kind:    kind,
+		Addr:    g.p.Base + off,
+		Size:    mem.BlockSize,
+		Compute: g.p.ComputePerOp,
+	}, true
+}
+
+// ---- The paper's micro-benchmarks (§5.2), 1:1 read/write ratio ----
+
+// Random randomly accesses a large array.
+func Random(footprint uint64, ops int, seed int64) Generator {
+	return MustNew(Params{
+		Name: "Random", FootprintBytes: footprint, Ops: ops,
+		WriteFrac: 0.5, SeqFrac: 0, ComputePerOp: 4, Seed: seed,
+	})
+}
+
+// Streaming sequentially accesses a large array.
+func Streaming(footprint uint64, ops int, seed int64) Generator {
+	return MustNew(Params{
+		Name: "Streaming", FootprintBytes: footprint, Ops: ops,
+		WriteFrac: 0.5, SeqFrac: 1.0, ComputePerOp: 4, Seed: seed,
+	})
+}
+
+// Sliding randomly accesses a region of the array, then moves to the next
+// consecutive region.
+func Sliding(footprint uint64, ops int, seed int64) Generator {
+	window := footprint / 16
+	if window < mem.PageSize {
+		window = mem.PageSize
+	}
+	return MustNew(Params{
+		Name: "Sliding", FootprintBytes: footprint, Ops: ops,
+		WriteFrac: 0.5, SeqFrac: 0, ComputePerOp: 4,
+		WindowBytes: window, WindowStep: window / 2, WindowPeriod: ops / 64,
+		Seed: seed,
+	})
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"testing"
+
+	"thynvm/internal/mem"
+)
+
+func drain(g Generator) []Op {
+	var ops []Op
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	gens := []Generator{
+		Random(1<<20, 500, 42),
+		Streaming(1<<20, 500, 42),
+		Sliding(1<<20, 500, 42),
+	}
+	for _, g := range gens {
+		a := drain(g)
+		g.Reset()
+		b := drain(g)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ after reset", g.Name())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: op %d differs after reset", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestTraceLengthAndBounds(t *testing.T) {
+	const footprint = 1 << 20
+	for _, g := range []Generator{
+		Random(footprint, 300, 1),
+		Streaming(footprint, 300, 1),
+		Sliding(footprint, 300, 1),
+	} {
+		ops := drain(g)
+		if len(ops) != 300 {
+			t.Errorf("%s: %d ops, want 300", g.Name(), len(ops))
+		}
+		for _, op := range ops {
+			if op.Addr >= footprint {
+				t.Fatalf("%s: addr %#x outside footprint", g.Name(), op.Addr)
+			}
+			if op.Addr%mem.BlockSize != 0 || op.Size != mem.BlockSize {
+				t.Fatalf("%s: unaligned op %+v", g.Name(), op)
+			}
+		}
+	}
+}
+
+func TestMicroWriteRatioRoughlyHalf(t *testing.T) {
+	for _, g := range []Generator{Random(1<<20, 4000, 7), Streaming(1<<20, 4000, 7)} {
+		writes := 0
+		for _, op := range drain(g) {
+			if op.Kind == Write {
+				writes++
+			}
+		}
+		frac := float64(writes) / 4000
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("%s: write fraction %.2f, want ~0.5 (paper: 1:1 R/W)", g.Name(), frac)
+		}
+	}
+}
+
+func TestStreamingIsSequential(t *testing.T) {
+	g := Streaming(1<<20, 1000, 3)
+	ops := drain(g)
+	for i := 1; i < len(ops); i++ {
+		want := (ops[i-1].Addr + mem.BlockSize) % (1 << 20)
+		if ops[i].Addr != want {
+			t.Fatalf("op %d at %#x, want sequential %#x", i, ops[i].Addr, want)
+		}
+	}
+}
+
+func TestRandomSpreadsAccesses(t *testing.T) {
+	g := Random(1<<20, 2000, 9)
+	pages := map[uint64]bool{}
+	for _, op := range drain(g) {
+		pages[op.Addr/mem.PageSize] = true
+	}
+	if len(pages) < 100 {
+		t.Errorf("random trace touched only %d pages", len(pages))
+	}
+}
+
+func TestSlidingConcentratesThenMoves(t *testing.T) {
+	footprint := uint64(1 << 20)
+	g := Sliding(footprint, 6400, 5)
+	ops := drain(g)
+	// Early ops should cluster in a small region; late ops in another.
+	early := map[uint64]bool{}
+	late := map[uint64]bool{}
+	for _, op := range ops[:400] {
+		early[op.Addr/mem.PageSize] = true
+	}
+	for _, op := range ops[len(ops)-400:] {
+		late[op.Addr/mem.PageSize] = true
+	}
+	// 400 ops span four window steps: window + 4 half-window advances.
+	window := footprint / 16
+	maxSpread := window + 4*window/2
+	if uint64(len(early))*mem.PageSize > maxSpread {
+		t.Errorf("early accesses too spread: %d pages over limit %d", len(early), maxSpread/mem.PageSize)
+	}
+	overlap := 0
+	for p := range late {
+		if early[p] {
+			overlap++
+		}
+	}
+	if overlap == len(late) {
+		t.Error("window never moved")
+	}
+}
+
+func TestSPECProfiles(t *testing.T) {
+	names := SPECNames()
+	if len(names) != 8 {
+		t.Fatalf("%d SPEC profiles, want 8", len(names))
+	}
+	for _, n := range names {
+		g, err := SPEC(n, 2<<20, 500, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := drain(g)
+		if len(ops) != 500 {
+			t.Errorf("%s: %d ops", n, len(ops))
+		}
+		if g.Name() != n {
+			t.Errorf("name %q, want %q", g.Name(), n)
+		}
+		for _, op := range ops {
+			if op.Addr >= 2<<20 {
+				t.Fatalf("%s: footprint cap violated", n)
+			}
+		}
+	}
+	if _, err := SPEC("nosuch", 0, 10, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSPECIntensityOrdering(t *testing.T) {
+	// lbm must be more memory-intensive (less compute per op) than
+	// omnetpp, per their real profiles.
+	lbm, _ := SPEC("lbm", 0, 10, 1)
+	omn, _ := SPEC("omnetpp", 0, 10, 1)
+	opL, _ := lbm.Next()
+	opO, _ := omn.Next()
+	if opL.Compute >= opO.Compute {
+		t.Error("lbm should have fewer compute instructions per op than omnetpp")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{FootprintBytes: 1, Ops: 10},
+		{FootprintBytes: 1 << 20, Ops: 0},
+		{FootprintBytes: 1 << 20, Ops: 10, WriteFrac: 1.5},
+		{FootprintBytes: 1 << 20, Ops: 10, SeqFrac: -0.1},
+		{FootprintBytes: 1 << 20, Ops: 10, WindowBytes: 2 << 20},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestBaseOffsetsAddresses(t *testing.T) {
+	g := MustNew(Params{
+		Name: "based", FootprintBytes: 1 << 16, Base: 1 << 20, Ops: 100,
+		WriteFrac: 0.5, Seed: 1,
+	})
+	for _, op := range drain(g) {
+		if op.Addr < 1<<20 || op.Addr >= 1<<20+1<<16 {
+			t.Fatalf("addr %#x outside based range", op.Addr)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package verify provides the executable counterpart of the paper's formal
+// consistency argument: an oracle that snapshots the software-visible
+// memory image at epoch boundaries and checks that post-crash recovery
+// reproduces exactly one of them.
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Snapshot is one captured memory image, keyed by block address.
+type Snapshot struct {
+	Label string
+	At    mem.Cycle
+	image map[uint64][]byte
+}
+
+// Oracle tracks touched blocks and captured snapshots for one workload run.
+type Oracle struct {
+	touched map[uint64]bool
+	snaps   []*Snapshot
+}
+
+// New returns an empty oracle.
+func New() *Oracle {
+	return &Oracle{touched: make(map[uint64]bool)}
+}
+
+// RecordWrite marks the blocks covered by a write of n bytes at addr as
+// part of the verified footprint.
+func (o *Oracle) RecordWrite(addr uint64, n int) {
+	for a := mem.BlockAlign(addr); a < addr+uint64(n); a += mem.BlockSize {
+		o.touched[a] = true
+	}
+}
+
+// TouchedBlocks returns the verified footprint in address order.
+func (o *Oracle) TouchedBlocks() []uint64 {
+	out := make([]uint64, 0, len(o.touched))
+	for a := range o.touched {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Capture snapshots the controller's software-visible image of all touched
+// blocks; call it at the instant a checkpoint begins (post cache flush).
+// It returns the snapshot index.
+func (o *Oracle) Capture(c ctl.Controller, label string, at mem.Cycle) int {
+	s := &Snapshot{Label: label, At: at, image: make(map[uint64][]byte, len(o.touched))}
+	for a := range o.touched {
+		buf := make([]byte, mem.BlockSize)
+		c.PeekBlock(a, buf)
+		s.image[a] = buf
+	}
+	o.snaps = append(o.snaps, s)
+	return len(o.snaps) - 1
+}
+
+// Snapshots returns the captured snapshots in capture order.
+func (o *Oracle) Snapshots() []*Snapshot { return o.snaps }
+
+// Match compares the controller's current visible image against every
+// snapshot (newest first) and returns the index and label of the first
+// match. ok is false if no snapshot matches.
+func (o *Oracle) Match(c ctl.Controller) (idx int, label string, ok bool) {
+	buf := make([]byte, mem.BlockSize)
+	for i := len(o.snaps) - 1; i >= 0; i-- {
+		s := o.snaps[i]
+		matched := true
+		for a, want := range s.image {
+			c.PeekBlock(a, buf)
+			if !bytes.Equal(buf, want) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			return i, s.Label, true
+		}
+	}
+	return -1, "", false
+}
+
+// Diff returns a description of how the controller's current image differs
+// from snapshot idx (empty when identical), for failure diagnostics.
+func (o *Oracle) Diff(c ctl.Controller, idx int) []string {
+	if idx < 0 || idx >= len(o.snaps) {
+		return []string{fmt.Sprintf("verify: no snapshot %d", idx)}
+	}
+	var out []string
+	buf := make([]byte, mem.BlockSize)
+	for _, a := range o.TouchedBlocks() {
+		want := o.snaps[idx].image[a]
+		c.PeekBlock(a, buf)
+		if !bytes.Equal(buf, want) {
+			out = append(out, fmt.Sprintf("block %#x: got %x... want %x...", a, buf[:4], want[:4]))
+		}
+	}
+	return out
+}
+
+// NewestCommittedBefore returns the index of the newest snapshot captured
+// at or before cycle at, or -1.
+func (o *Oracle) NewestCommittedBefore(at mem.Cycle) int {
+	best := -1
+	for i, s := range o.snaps {
+		if s.At <= at {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"testing"
+
+	"thynvm/internal/core"
+	"thynvm/internal/mem"
+)
+
+func testCtrl() *core.Controller {
+	cfg := core.DefaultConfig()
+	cfg.PhysBytes = 1 << 20
+	cfg.BTTEntries = 256
+	cfg.PTTEntries = 64
+	cfg.EpochLen = mem.FromNs(50_000)
+	return core.MustNew(cfg)
+}
+
+func blockOf(v byte) []byte {
+	b := make([]byte, mem.BlockSize)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestRecordWriteCoversBlocks(t *testing.T) {
+	o := New()
+	o.RecordWrite(60, 10) // crosses a block boundary
+	blocks := o.TouchedBlocks()
+	if len(blocks) != 2 || blocks[0] != 0 || blocks[1] != 64 {
+		t.Errorf("touched = %v, want [0 64]", blocks)
+	}
+}
+
+func TestCaptureAndMatch(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	now := c.WriteBlock(0, 0, blockOf(1))
+	o.RecordWrite(0, mem.BlockSize)
+	id1 := o.Capture(c, "epoch1", now)
+	now = c.WriteBlock(now, 0, blockOf(2))
+	id2 := o.Capture(c, "epoch2", now)
+	if id1 != 0 || id2 != 1 {
+		t.Fatalf("ids %d,%d", id1, id2)
+	}
+	// Current state matches epoch2 (newest first).
+	idx, label, ok := o.Match(c)
+	if !ok || idx != 1 || label != "epoch2" {
+		t.Errorf("match = %d %q %v", idx, label, ok)
+	}
+}
+
+func TestMatchFailsOnForeignState(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	c.WriteBlock(0, 0, blockOf(1))
+	o.RecordWrite(0, mem.BlockSize)
+	o.Capture(c, "a", 0)
+	c.WriteBlock(0, 0, blockOf(99))
+	if _, _, ok := o.Match(c); ok {
+		t.Error("unsnapshotted state matched")
+	}
+	if diffs := o.Diff(c, 0); len(diffs) == 0 {
+		t.Error("Diff reported no differences")
+	}
+}
+
+func TestNewestCommittedBefore(t *testing.T) {
+	o := New()
+	c := testCtrl()
+	o.Capture(c, "a", 100)
+	o.Capture(c, "b", 200)
+	o.Capture(c, "c", 300)
+	cases := []struct {
+		at   mem.Cycle
+		want int
+	}{{50, -1}, {100, 0}, {250, 1}, {1000, 2}}
+	for _, tc := range cases {
+		if got := o.NewestCommittedBefore(tc.at); got != tc.want {
+			t.Errorf("NewestCommittedBefore(%d) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestDiffBounds(t *testing.T) {
+	o := New()
+	if d := o.Diff(testCtrl(), 5); len(d) != 1 {
+		t.Error("out-of-range Diff should report one diagnostic")
+	}
+}
+
+// End-to-end: recovery after a crash matches exactly the snapshot of the
+// newest committed epoch (here: the only one).
+func TestOracleEndToEndWithRecovery(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	now := mem.Cycle(0)
+	for i := 0; i < 32; i++ {
+		addr := uint64(i) * mem.BlockSize
+		now = c.WriteBlock(now, addr, blockOf(byte(i+1)))
+		o.RecordWrite(addr, mem.BlockSize)
+	}
+	o.Capture(c, "boundary", now)
+	resume := c.BeginCheckpoint(now, nil)
+	now = c.DrainCheckpoint(resume)
+	// Post-checkpoint writes that must be rolled back.
+	now = c.WriteBlock(now, 0, blockOf(200))
+	c.Crash(now)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	idx, label, ok := o.Match(c)
+	if !ok || label != "boundary" {
+		t.Fatalf("recovered state did not match boundary snapshot (idx=%d ok=%v): %v",
+			idx, ok, o.Diff(c, 0))
+	}
+}

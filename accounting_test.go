@@ -1,0 +1,36 @@
+package thynvm_test
+
+import (
+	"testing"
+
+	"thynvm"
+)
+
+// TestAccountingInvariantAllSystems runs a mixed workload on every system
+// and checks the write-attribution invariant: on each device, the
+// per-source byte breakdown must sum exactly to the total bytes written.
+// Figure 8's traffic decomposition is meaningless if any write escapes
+// attribution.
+func TestAccountingInvariantAllSystems(t *testing.T) {
+	for _, k := range thynvm.AllSystems() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			sys := thynvm.MustNewSystem(k, smallOpts())
+			// Random is the most demanding mix: it exercises CPU stores,
+			// checkpoint staging, migration, and decay consolidation.
+			sys.Run(thynvm.RandomWorkload(1<<20, 4000, 11))
+			sys.Drain()
+			if err := sys.Stats().CheckAccounting(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The invariant must also hold mid-run, with a checkpoint
+			// draining in the background.
+			sys2 := thynvm.MustNewSystem(k, smallOpts())
+			sys2.Run(thynvm.SlidingWorkload(1<<20, 3000, 13))
+			if err := sys2.Stats().CheckAccounting(); err != nil {
+				t.Fatalf("mid-run (undrained): %v", err)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"thynvm"
+	"thynvm/internal/obs"
 )
 
 // benchScale is a reduced scale so the full `go test -bench=.` suite
@@ -240,6 +241,30 @@ func BenchmarkReadPath(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sys.Read(uint64(i%(1<<14))*64, buf)
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the store path with no recorder (the
+// shipped default), with the no-op recorder (disabled telemetry stays on the
+// recOn-guard fast path), and with a live collector. The first two must be
+// indistinguishable and allocation-free.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []string{"none", "nop", "collector"} {
+		b.Run(mode, func(b *testing.B) {
+			sys := newBenchSystem(b, thynvm.SystemThyNVM)
+			switch mode {
+			case "nop":
+				sys.SetRecorder(obs.Nop{})
+			case "collector":
+				sys.SetRecorder(obs.NewCollector())
+			}
+			data := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Write(uint64(i%(1<<19))*64, data)
 			}
 		})
 	}

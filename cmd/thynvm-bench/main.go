@@ -4,26 +4,91 @@
 // Usage:
 //
 //	thynvm-bench [-exp all|table1|table2|fig7|fig8|fig9|fig10|fig11|fig12]
-//	             [-scale small|default] [-csv]
+//	             [-scale small|default] [-csv] [-json-out BENCH_PR1.json]
 //
-// With -csv the tables are additionally emitted as CSV to stdout.
+// With -csv the tables are additionally emitted as CSV to stdout. Whenever
+// the micro-benchmark sweep runs (-exp all, fig7 or fig8), its results are
+// also written machine-readable to -json-out (default BENCH_PR1.json; set
+// to "" to disable).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"thynvm"
 )
 
+// benchEntry is one (workload, system) data point of the machine-readable
+// benchmark output. The json field names are the wire format; keep stable.
+type benchEntry struct {
+	Workload   string  `json:"workload"`
+	System     string  `json:"system"`
+	Cycles     uint64  `json:"cycles"`
+	IPC        float64 `json:"ipc"`
+	CkptPct    float64 `json:"ckpt_pct"`
+	NVMWriteMB float64 `json:"nvm_write_mb"`
+}
+
+// writeBenchJSON emits the micro-benchmark sweep in deterministic
+// workload-then-system order.
+func writeBenchJSON(path, scale string, mr *thynvm.MicroResults) error {
+	entries := make([]benchEntry, 0, len(thynvm.MicroNames())*len(thynvm.AllSystems()))
+	for _, w := range thynvm.MicroNames() {
+		for _, k := range thynvm.AllSystems() {
+			r, ok := mr.Results[w][k]
+			if !ok {
+				continue
+			}
+			entries = append(entries, benchEntry{
+				Workload:   r.Workload,
+				System:     r.System,
+				Cycles:     uint64(r.Cycles),
+				IPC:        r.IPC,
+				CkptPct:    r.PctCkpt * 100,
+				NVMWriteMB: r.NVMWriteMB(),
+			})
+		}
+	}
+	out := struct {
+		Scale   string       `json:"scale"`
+		Results []benchEntry `json:"results"`
+	}{Scale: scale, Results: entries}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig7..fig12, epochs, recovery")
 	scaleName := flag.String("scale", "default", "experiment scale: small or default")
 	csv := flag.Bool("csv", false, "also emit CSV")
+	jsonOut := flag.String("json-out", "BENCH_PR1.json", "write micro-benchmark results as JSON to this file (empty to disable)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var sc thynvm.Scale
 	switch *scaleName {
@@ -86,6 +151,12 @@ func main() {
 			if want("fig8") {
 				emit(mr.Fig8())
 			}
+			if *jsonOut != "" {
+				if err := writeBenchJSON(*jsonOut, *scaleName, mr); err != nil {
+					fail(err)
+				}
+				fmt.Printf("[micro-benchmark results written to %s]\n\n", *jsonOut)
+			}
 		})
 	}
 	if want("fig9") || want("fig10") {
@@ -137,5 +208,20 @@ func main() {
 			}
 			emit(t)
 		})
+	}
+
+	if *memProfile != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -5,16 +5,27 @@
 //
 //	thynvm-sim -system thynvm -workload Random -ops 50000 -footprint 16777216
 //	thynvm-sim -system journal -workload lbm -ops 40000
+//	thynvm-sim -metrics-out metrics.json -trace-out trace.json -trace-format chrome
+//
+// With -metrics-out / -trace-out a telemetry recorder is attached for the
+// run: per-epoch time series and latency histograms go to the metrics file,
+// the structured event log to the trace file (JSONL, or Chrome trace-event
+// JSON loadable in Perfetto with -trace-format chrome). All telemetry is
+// keyed on simulated cycles, so same-seed runs produce byte-identical files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"thynvm"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 	"thynvm/internal/trace"
 )
 
@@ -26,7 +37,30 @@ func main() {
 	footprint := flag.Uint64("footprint", 16<<20, "workload footprint in bytes")
 	epoch := flag.Duration("epoch", 300*time.Microsecond, "checkpoint epoch length")
 	seed := flag.Int64("seed", 42, "workload seed")
+	metricsOut := flag.String("metrics-out", "", "write per-epoch time series + latency histograms (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the structured event log to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "event log format: jsonl or chrome (Perfetto-loadable trace events)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (jsonl|chrome)\n", *traceFormat)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	kind, err := thynvm.ParseSystem(*system)
 	if err != nil {
@@ -71,9 +105,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var col *obs.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = &obs.Collector{}
+		sys.SetRecorder(col)
+	}
 	res := sys.Run(g)
 	sys.Drain()
 	st := sys.Stats()
+
+	writeOut := func(path string, write func(w io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		writeOut(*traceOut, func(f io.Writer) error {
+			if *traceFormat == "chrome" {
+				return col.WriteChromeTrace(f, mem.CyclesPerNs*1000)
+			}
+			return col.WriteJSONL(f)
+		})
+	}
+	if *metricsOut != "" {
+		writeOut(*metricsOut, col.WriteMetricsJSON)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		writeOut(*memProfile, pprof.WriteHeapProfile)
+	}
 
 	fmt.Printf("workload   : %s (%d ops, %d B footprint, seed %d)\n", res.Workload, res.Ops, *footprint, *seed)
 	fmt.Printf("system     : %s\n", res.System)

@@ -3,6 +3,7 @@ package baseline
 import (
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Ideal is a single-device main memory that is *assumed* to provide crash
@@ -17,6 +18,7 @@ type Ideal struct {
 	epochSt  mem.Cycle
 	cpuState []byte
 	stats    ctl.Stats
+	tele     ctl.EpochSampler
 	anyWork  bool
 }
 
@@ -49,14 +51,22 @@ func (s *Ideal) LoadHome(addr uint64, data []byte) { s.dev.Poke(addr, data) }
 // ReadBlock implements ctl.Controller.
 func (s *Ideal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	checkAccess(s.cfg.PhysBytes, addr, len(buf))
-	return s.dev.Read(now, addr, buf)
+	done := s.dev.Read(now, addr, buf)
+	if s.tele.On() {
+		s.tele.Rec().Latency(obs.HistBlockRead, uint64(done-now))
+	}
+	return done
 }
 
 // WriteBlock implements ctl.Controller.
 func (s *Ideal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	checkAccess(s.cfg.PhysBytes, addr, len(data))
 	s.anyWork = true
-	return s.dev.Write(now, addr, data, mem.SrcCPU)
+	ack := s.dev.Write(now, addr, data, mem.SrcCPU)
+	if s.tele.On() {
+		s.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
+	}
+	return ack
 }
 
 // CheckpointDue implements ctl.Controller: never. The paper's ideal
@@ -69,11 +79,22 @@ func (s *Ideal) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 
 // BeginCheckpoint implements ctl.Controller: free.
 func (s *Ideal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	epoch := s.stats.Epochs
+	epochStart := s.epochSt
 	s.cpuState = append([]byte(nil), cpuState...)
 	s.epochSt = now
 	s.anyWork = false
 	s.stats.Epochs++
 	s.stats.Commits++
+	if s.tele.On() {
+		rec := s.tele.Rec()
+		rec.Event(uint64(now), obs.EvEpochEnd, epoch, 0)
+		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
+		rec.Event(uint64(now), obs.EvCkptComplete, epoch, 0)
+		rec.Latency(obs.HistCkptDrain, 0)
+		rec.Event(uint64(now), obs.EvEpochBegin, epoch+1, 0)
+		s.tele.Sample(ctl.EpochMeta{Epoch: epoch, Start: epochStart, End: now}, s.Stats())
+	}
 	return now
 }
 
@@ -110,4 +131,5 @@ func (s *Ideal) Stats() ctl.Stats {
 func (s *Ideal) ResetStats() {
 	s.stats = ctl.Stats{}
 	s.dev.ResetStats()
+	s.tele.Rebase(s.Stats())
 }

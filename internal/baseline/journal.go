@@ -6,6 +6,7 @@ import (
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Journal is the paper's journaling baseline (§5.1): a redo journal for a
@@ -31,6 +32,7 @@ type Journal struct {
 	epochSt  mem.Cycle
 	overflow bool
 	stats    ctl.Stats
+	tele     ctl.EpochSampler
 }
 
 var _ ctl.Controller = (*Journal)(nil)
@@ -73,10 +75,16 @@ func (j *Journal) allocSlot() uint64 {
 // DRAM, everything else from NVM home.
 func (j *Journal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	checkAccess(j.cfg.PhysBytes, addr, len(buf))
+	var done mem.Cycle
 	if slot, ok := j.dirty[mem.BlockIndex(addr)]; ok {
-		return j.dram.Read(now, slot, buf)
+		done = j.dram.Read(now, slot, buf)
+	} else {
+		done = j.nvm.Read(now, addr, buf)
 	}
-	return j.nvm.Read(now, addr, buf)
+	if j.tele.On() {
+		j.tele.Rec().Latency(obs.HistBlockRead, uint64(done-now))
+	}
+	return done
 }
 
 // WriteBlock implements ctl.Controller: updates coalesce in the DRAM buffer.
@@ -91,7 +99,11 @@ func (j *Journal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle 
 			j.overflow = true
 		}
 	}
-	return j.dram.Write(now, slot, data, mem.SrcCPU)
+	ack := j.dram.Write(now, slot, data, mem.SrcCPU)
+	if j.tele.On() {
+		j.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
+	}
+	return ack
 }
 
 // CheckpointDue implements ctl.Controller.
@@ -114,6 +126,18 @@ func (j *Journal) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 // committed, and applied in place.
 func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	start := now
+	epoch := j.stats.Epochs
+	epochStart := j.epochSt
+	forced := j.overflow
+	dirtyBlocks := uint64(len(j.dirty))
+	if j.tele.On() {
+		rec := j.tele.Rec()
+		rec.Event(uint64(now), obs.EvEpochEnd, epoch, 0)
+		if forced {
+			rec.Event(uint64(now), obs.EvCkptForced, epoch, 0)
+		}
+		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
+	}
 	// Serialize the redo journal: CPU state + (block, data) records, in
 	// deterministic block order.
 	idxs := make([]uint64, 0, len(j.dirty))
@@ -175,6 +199,21 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	j.stats.Commits++
 	j.stats.CkptBusy += applyDone - start
 	j.epochSt = applyDone
+	if j.tele.On() {
+		rec := j.tele.Rec()
+		drain := uint64(applyDone - start)
+		rec.Event(uint64(applyDone), obs.EvCkptComplete, epoch, drain)
+		rec.Latency(obs.HistCkptDrain, drain)
+		rec.Event(uint64(applyDone), obs.EvEpochBegin, epoch+1, 0)
+		j.tele.Sample(ctl.EpochMeta{
+			Epoch:       epoch,
+			Start:       epochStart,
+			End:         start,
+			DirtyBlocks: dirtyBlocks,
+			BTTLive:     dirtyBlocks,
+			Forced:      forced,
+		}, j.Stats())
+	}
 	return applyDone
 }
 
@@ -250,4 +289,5 @@ func (j *Journal) ResetStats() {
 	j.stats = ctl.Stats{}
 	j.nvm.ResetStats()
 	j.dram.ResetStats()
+	j.tele.Rebase(j.Stats())
 }

@@ -1,0 +1,38 @@
+package baseline
+
+import (
+	"thynvm/internal/ctl"
+	"thynvm/internal/obs"
+)
+
+// All baseline controllers accept a telemetry recorder so the same
+// instrumented harness runs against ThyNVM and its comparison points.
+var (
+	_ ctl.Observable = (*Ideal)(nil)
+	_ ctl.Observable = (*Journal)(nil)
+	_ ctl.Observable = (*Shadow)(nil)
+)
+
+// SetRecorder implements ctl.Observable.
+func (s *Ideal) SetRecorder(r obs.Recorder) {
+	if s.dev.Spec().Name == "DRAM" {
+		s.dev.SetRecorder(r, obs.HistDRAMRead, obs.HistDRAMWrite)
+	} else {
+		s.dev.SetRecorder(r, obs.HistNVMRead, obs.HistNVMWrite)
+	}
+	s.tele.Attach(r, s.Stats())
+}
+
+// SetRecorder implements ctl.Observable.
+func (j *Journal) SetRecorder(r obs.Recorder) {
+	j.nvm.SetRecorder(r, obs.HistNVMRead, obs.HistNVMWrite)
+	j.dram.SetRecorder(r, obs.HistDRAMRead, obs.HistDRAMWrite)
+	j.tele.Attach(r, j.Stats())
+}
+
+// SetRecorder implements ctl.Observable.
+func (s *Shadow) SetRecorder(r obs.Recorder) {
+	s.nvm.SetRecorder(r, obs.HistNVMRead, obs.HistNVMWrite)
+	s.dram.SetRecorder(r, obs.HistDRAMRead, obs.HistDRAMWrite)
+	s.tele.Attach(r, s.Stats())
+}

@@ -6,6 +6,7 @@ import (
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Shadow is the paper's shadow-paging baseline (§5.1): copy-on-write at
@@ -34,6 +35,7 @@ type Shadow struct {
 	lastCPU  []byte // CPU state of the most recent epoch checkpoint
 	overflow bool
 	stats    ctl.Stats
+	tele     ctl.EpochSampler
 }
 
 type shadowPage struct {
@@ -106,13 +108,18 @@ func (s *Shadow) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	checkAccess(s.cfg.PhysBytes, addr, len(buf))
 	pageIdx := mem.PageIndex(addr)
 	off := addr % mem.PageSize
+	var done mem.Cycle
 	if p, ok := s.pages[pageIdx]; ok && p.dramAddr != noSlot {
-		return s.dram.Read(now, p.dramAddr+off, buf)
+		done = s.dram.Read(now, p.dramAddr+off, buf)
+	} else if p, ok := s.pages[pageIdx]; ok {
+		done = s.nvm.Read(now, p.committed+off, buf)
+	} else {
+		done = s.nvm.Read(now, addr, buf)
 	}
-	if p, ok := s.pages[pageIdx]; ok {
-		return s.nvm.Read(now, p.committed+off, buf)
+	if s.tele.On() {
+		s.tele.Rec().Latency(obs.HistBlockRead, uint64(done-now))
 	}
-	return s.nvm.Read(now, addr, buf)
+	return done
 }
 
 const noSlot = ^uint64(0)
@@ -165,7 +172,11 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	if s.dramBump/mem.PageSize >= uint64(s.cfg.DRAMPages) && len(s.freeDRAM) == 0 {
 		s.overflow = true // ask for an epoch-boundary flush before we force one
 	}
-	return s.dram.Write(now, p.dramAddr+off, data, mem.SrcCPU)
+	ack := s.dram.Write(now, p.dramAddr+off, data, mem.SrcCPU)
+	if s.tele.On() {
+		s.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
+	}
+	return ack
 }
 
 // flush writes every dirty page to its alternate shadow slot, commits the
@@ -174,6 +185,15 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle {
 	start := now
 	maxDone := now
+	epoch := s.stats.Epochs
+	if s.tele.On() {
+		rec := s.tele.Rec()
+		if ckptStall {
+			// Mid-epoch flush forced by DRAM-buffer pressure.
+			rec.Event(uint64(now), obs.EvCkptForced, epoch, 0)
+		}
+		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
+	}
 	var pageBuf [mem.PageSize]byte
 	dirty := s.sortedPages()
 	for _, p := range dirty {
@@ -231,6 +251,11 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		s.stats.CkptStall += commitDone - start
 	}
 	s.stats.CkptBusy += commitDone - start
+	if s.tele.On() {
+		drain := uint64(commitDone - start)
+		s.tele.Rec().Event(uint64(commitDone), obs.EvCkptComplete, epoch, drain)
+		s.tele.Rec().Latency(obs.HistCkptDrain, drain)
+	}
 	return commitDone
 }
 
@@ -270,10 +295,31 @@ func (s *Shadow) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 
 // BeginCheckpoint implements ctl.Controller: stop-the-world flush + commit.
 func (s *Shadow) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
+	epoch := s.stats.Epochs
+	epochStart := s.epochSt
+	var dirtyPages uint64
+	if s.tele.On() {
+		for _, p := range s.pages {
+			if p.dirty && p.dramAddr != noSlot {
+				dirtyPages++
+			}
+		}
+		s.tele.Rec().Event(uint64(now), obs.EvEpochEnd, epoch, 0)
+	}
 	s.lastCPU = append([]byte(nil), cpuState...)
 	done := s.flush(now, s.lastCPU, false)
 	s.stats.Epochs++
 	s.epochSt = done
+	if s.tele.On() {
+		s.tele.Rec().Event(uint64(done), obs.EvEpochBegin, s.stats.Epochs, 0)
+		s.tele.Sample(ctl.EpochMeta{
+			Epoch:      epoch,
+			Start:      epochStart,
+			End:        now,
+			DirtyPages: dirtyPages,
+			PTTLive:    uint64(len(s.pages)),
+		}, s.Stats())
+	}
 	return done
 }
 
@@ -357,4 +403,5 @@ func (s *Shadow) ResetStats() {
 	s.stats = ctl.Stats{}
 	s.nvm.ResetStats()
 	s.dram.ResetStats()
+	s.tele.Rebase(s.Stats())
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"sort"
 
+	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // CheckpointDue implements ctl.Controller: the epoch timer has expired or a
@@ -64,8 +66,21 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		}
 		c.finalize()
 	}
+	epoch := c.epochID
+	epochStart := c.epochStart
+	forced := c.overflowReq
+	if c.tele.On() {
+		rec := c.tele.Rec()
+		rec.Event(uint64(now), obs.EvEpochEnd, epoch, 0)
+		if forced {
+			rec.Event(uint64(now), obs.EvCkptForced, epoch, 0)
+		}
+		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
+	}
+	c.ckptEpoch = epoch
 	c.ckptStart = now
 	maxDone := now
+	var stagedBlocks, stagedPages uint64
 
 	// (1) Drain working copies buffered in the DRAM Working Data Region.
 	var blockBuf [mem.BlockSize]byte
@@ -93,12 +108,14 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 			}
 			e.pendingClast = w
 			e.ckpting = true
+			stagedBlocks++
 		case activeNVM:
 			// (2) Block remapping proper: the working copy is already in
 			// NVM; only metadata needs to persist. The working copy
 			// becomes C_last with no data movement.
 			e.pendingClast = e.wAddr()
 			e.ckpting = true
+			stagedBlocks++
 		}
 	}
 
@@ -113,6 +130,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 				e.pendingClast = e.wAddr()
 				e.ckpting = true
 				e.flushDone = now
+				stagedPages++
 			}
 			continue
 		}
@@ -128,6 +146,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		e.pendingClast = w
 		e.ckpting = true
 		e.flushDone = done
+		stagedPages++
 	}
 
 	// (4) Serialize the translation tables and CPU state, then the commit
@@ -207,6 +226,28 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	// cache-flush stall is accounted by the caller.
 	resume := now + mem.TableLookup
 	c.epochStart = resume
+	if c.tele.On() {
+		rec := c.tele.Rec()
+		var drain uint64
+		if commitDone > resume {
+			drain = uint64(commitDone - resume)
+		}
+		rec.Event(uint64(resume), obs.EvCkptDrain, epoch, drain)
+		rec.Event(uint64(resume), obs.EvEpochBegin, c.epochID, 0)
+		// The epoch sample is the last thing emitted: its deltas cover
+		// everything the closing epoch and its staging phase wrote, so the
+		// series sums to the cumulative Stats at this instant.
+		c.tele.Sample(ctl.EpochMeta{
+			Epoch:       epoch,
+			Start:       epochStart,
+			End:         now,
+			DirtyBlocks: stagedBlocks,
+			DirtyPages:  stagedPages,
+			BTTLive:     uint64(len(c.blocks)),
+			PTTLive:     uint64(len(c.pages)),
+			Forced:      forced,
+		}, c.Stats())
+	}
 	return resume
 }
 
@@ -234,6 +275,11 @@ func (c *Controller) finalize() {
 	c.ckptInFlight = false
 	c.stats.Commits++
 	c.stats.CkptBusy += c.commitDone - c.ckptStart
+	if c.tele.On() {
+		drain := uint64(c.commitDone - c.ckptStart)
+		c.tele.Rec().Event(uint64(c.commitDone), obs.EvCkptComplete, c.ckptEpoch, drain)
+		c.tele.Rec().Latency(obs.HistCkptDrain, drain)
+	}
 	at := c.commitDone
 
 	// Rotate versions: staged checkpoints become C_last.
@@ -375,6 +421,9 @@ func (c *Controller) migrate(at mem.Cycle) {
 			continue
 		}
 		c.stats.MigrationsOut++
+		if c.tele.On() {
+			c.tele.Rec().Event(uint64(at), obs.EvMigrationOut, e.phys, 0)
+		}
 		if e.clastAddr == e.homeAddr {
 			c.freePageEntry(e)
 			continue
@@ -406,6 +455,9 @@ func (c *Controller) migrate(at mem.Cycle) {
 			continue
 		}
 		c.stats.MigrationsIn++
+		if c.tele.On() {
+			c.tele.Rec().Event(uint64(at), obs.EvMigrationIn, pageIdx, 0)
+		}
 		pe := c.allocPageEntry(pageIdx)
 		// Compose two images of the page from its blocks: the visible one
 		// (with any current-epoch working copies) for the DRAM Working

@@ -41,6 +41,7 @@ type Controller struct {
 	overflowReq bool
 
 	ckptInFlight     bool
+	ckptEpoch        uint64 // epoch id of the in-flight checkpoint
 	ckptStart        mem.Cycle
 	commitDone       mem.Cycle
 	homeCopyMaxDone  mem.Cycle // migration image writes the next header must follow
@@ -50,6 +51,7 @@ type Controller struct {
 	lastPageStores map[uint64]uint32 // counts from the epoch being checkpointed
 
 	stats ctl.Stats
+	tele  ctl.EpochSampler
 }
 
 var _ ctl.Controller = (*Controller)(nil)
@@ -272,8 +274,8 @@ func (c *Controller) checkAccess(addr uint64, n int) {
 	}
 }
 
-// ReadBlock implements ctl.Controller.
-func (c *Controller) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+// readBlock is the uninstrumented ReadBlock body (see obs.go).
+func (c *Controller) readBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	c.checkAccess(addr, len(buf))
 	c.sync(now)
 	now += c.lookupLatency()
@@ -300,8 +302,8 @@ func (c *Controller) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle
 	return c.nvm.Read(now, addr, buf)
 }
 
-// WriteBlock implements ctl.Controller.
-func (c *Controller) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+// writeBlock is the uninstrumented WriteBlock body (see obs.go).
+func (c *Controller) writeBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	c.checkAccess(addr, len(data))
 	c.sync(now)
 	now += c.lookupLatency()
@@ -572,6 +574,7 @@ func (c *Controller) ResetStats() {
 	c.stats = ctl.Stats{PeakBTTLive: peakB, PeakPTTLive: peakP}
 	c.nvm.ResetStats()
 	c.dram.ResetStats()
+	c.tele.Rebase(c.Stats())
 }
 
 // LiveEntries reports current BTT and PTT occupancy (tests, reports).

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+	"thynvm/internal/obs"
+)
+
+var _ ctl.Observable = (*Controller)(nil)
+
+// SetRecorder implements ctl.Observable: it attaches r to both devices (for
+// raw access-latency histograms), and to the controller's epoch sampler.
+// Pass nil to detach. Attaching mid-run rebases the per-epoch delta series
+// at the current cumulative stats.
+func (c *Controller) SetRecorder(r obs.Recorder) {
+	c.nvm.SetRecorder(r, obs.HistNVMRead, obs.HistNVMWrite)
+	c.dram.SetRecorder(r, obs.HistDRAMRead, obs.HistDRAMWrite)
+	c.tele.Attach(r, c.Stats())
+}
+
+// ReadBlock implements ctl.Controller, recording the end-to-end block read
+// latency (table lookup + device) when a recorder is attached.
+func (c *Controller) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	done := c.readBlock(now, addr, buf)
+	if c.tele.On() {
+		c.tele.Rec().Latency(obs.HistBlockRead, uint64(done-now))
+	}
+	return done
+}
+
+// WriteBlock implements ctl.Controller, recording the issuer-visible block
+// write latency (cycles until the store is acknowledged, not until the
+// posted write drains) when a recorder is attached.
+func (c *Controller) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	ack := c.writeBlock(now, addr, data)
+	if c.tele.On() {
+		c.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
+	}
+	return ack
+}

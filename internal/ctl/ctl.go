@@ -10,7 +10,11 @@
 // Crash/Recover model power failure at an arbitrary cycle.
 package ctl
 
-import "thynvm/internal/mem"
+import (
+	"fmt"
+
+	"thynvm/internal/mem"
+)
 
 // Controller is a memory controller enforcing crash consistency over a
 // physical address space. Addresses handed to ReadBlock/WriteBlock are
@@ -64,50 +68,51 @@ type Controller interface {
 }
 
 // Stats aggregates controller- and device-level counters used to reproduce
-// the paper's figures.
+// the paper's figures. The json tags are part of the bench/metrics wire
+// format; keep them stable.
 type Stats struct {
 	// Epochs counts completed execution phases; Commits counts fully
 	// durable checkpoints.
-	Epochs  uint64
-	Commits uint64
+	Epochs  uint64 `json:"epochs"`
+	Commits uint64 `json:"commits"`
 
 	// CkptStall is execution time the CPU lost to *in-line* waits caused
 	// by checkpointing (cooperation-off page waits, waits for a previous
 	// checkpoint to commit, forced mid-epoch flushes). Time spent inside
 	// BeginCheckpoint calls is visible to the harness through the returned
 	// resume cycle and accounted there, not here.
-	CkptStall mem.Cycle
+	CkptStall mem.Cycle `json:"ckpt_stall_cycles"`
 	// CkptBusy is the total time some checkpoint was draining in the
 	// background (overlap with execution does not count as stall).
-	CkptBusy mem.Cycle
+	CkptBusy mem.Cycle `json:"ckpt_busy_cycles"`
 
 	// MemStall is execution time lost to raw memory backpressure
 	// (write-queue-full waits) outside checkpoint causes.
-	MemStall mem.Cycle
+	MemStall mem.Cycle `json:"mem_stall_cycles"`
 
 	// Migrations counts pages switched between checkpointing schemes;
 	// In = block remapping -> page writeback, Out = the reverse.
-	MigrationsIn  uint64
-	MigrationsOut uint64
+	MigrationsIn  uint64 `json:"migrations_in"`
+	MigrationsOut uint64 `json:"migrations_out"`
 
 	// TableSpills counts BTT allocations beyond the configured capacity
 	// (the paper's "virtualized table" fallback).
-	TableSpills uint64
+	TableSpills uint64 `json:"table_spills"`
 
 	// PeakBTTLive and PeakPTTLive record the high-water mark of live
 	// translation-table entries (metadata pressure).
-	PeakBTTLive uint64
-	PeakPTTLive uint64
+	PeakBTTLive uint64 `json:"peak_btt_live"`
+	PeakPTTLive uint64 `json:"peak_ptt_live"`
 
 	// BufferedBlockWrites counts stores absorbed by the cooperation
 	// mechanism (block remapping temporarily handling page-writeback data,
 	// §3.4).
-	BufferedBlockWrites uint64
+	BufferedBlockWrites uint64 `json:"buffered_block_writes"`
 
 	// NVM and DRAM are the device counters, including per-source NVM
 	// write-traffic breakdown (Figure 8).
-	NVM  mem.DeviceStats
-	DRAM mem.DeviceStats
+	NVM  mem.DeviceStats `json:"nvm"`
+	DRAM mem.DeviceStats `json:"dram"`
 }
 
 // NVMWriteBytes returns total bytes written to NVM.
@@ -116,4 +121,26 @@ func (s Stats) NVMWriteBytes() uint64 { return s.NVM.BytesWritten }
 // NVMWriteBytesBy returns NVM write bytes from the given source.
 func (s Stats) NVMWriteBytesBy(src mem.WriteSource) uint64 {
 	return s.NVM.BytesBySource[src]
+}
+
+// CheckAccounting verifies the cross-counter invariants every controller
+// must maintain: on each device, the per-source write-byte breakdown sums
+// exactly to the total bytes written (no write may escape attribution —
+// Figure 8 depends on it).
+func (s Stats) CheckAccounting() error {
+	check := func(name string, d mem.DeviceStats) error {
+		var sum uint64
+		for _, b := range d.BytesBySource {
+			sum += b
+		}
+		if sum != d.BytesWritten {
+			return fmt.Errorf("ctl: %s BytesBySource sums to %d, but BytesWritten is %d (unattributed: %d)",
+				name, sum, d.BytesWritten, int64(d.BytesWritten)-int64(sum))
+		}
+		return nil
+	}
+	if err := check("NVM", s.NVM); err != nil {
+		return err
+	}
+	return check("DRAM", s.DRAM)
 }

@@ -1,5 +1,7 @@
 package mem
 
+import "thynvm/internal/obs"
+
 // bank models one independently timed device bank.
 //
 // Both row-buffer state and occupancy are tracked separately for the read
@@ -36,7 +38,7 @@ type DeviceStats struct {
 	RowHits      uint64
 	RowMisses    uint64
 	// BytesBySource breaks write bytes down by originator (Figure 8).
-	BytesBySource [numWriteSources]uint64
+	BytesBySource [NumWriteSources]uint64
 }
 
 // Device is a banked memory device with row-buffer timing, byte-accurate
@@ -53,6 +55,13 @@ type Device struct {
 	store   *Storage
 	pending []pendingWrite
 	stats   DeviceStats
+
+	// Telemetry: latency observations go to rec when recOn; the flag is
+	// cached so the disabled path costs one branch, no interface call.
+	rec       obs.Recorder
+	recOn     bool
+	readHist  obs.HistID
+	writeHist obs.HistID
 }
 
 // NewDevice creates a device with the given spec and empty contents.
@@ -80,6 +89,15 @@ func NewDevice(spec DeviceSpec) *Device {
 
 // Spec returns the device's timing specification.
 func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// SetRecorder attaches a telemetry recorder; read and write access
+// latencies are observed into the given histograms. Passing nil (or a
+// recorder whose Enabled is false) detaches instrumentation entirely.
+func (d *Device) SetRecorder(r obs.Recorder, readHist, writeHist obs.HistID) {
+	d.rec = r
+	d.recOn = r != nil && r.Enabled()
+	d.readHist, d.writeHist = readHist, writeHist
+}
 
 // Stats returns a copy of the device's counters.
 func (d *Device) Stats() DeviceStats { return d.stats }
@@ -171,6 +189,9 @@ func (d *Device) Read(now Cycle, addr uint64, buf []byte) Cycle {
 	}
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(len(buf))
+	if d.recOn {
+		d.rec.Latency(d.readHist, uint64(done-now))
+	}
 	return done
 }
 
@@ -205,6 +226,9 @@ func (d *Device) ReadBackground(now Cycle, addr uint64, buf []byte) Cycle {
 	}
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(len(buf))
+	if d.recOn {
+		d.rec.Latency(d.readHist, uint64(done-now))
+	}
 	return done
 }
 
@@ -280,8 +304,13 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 	d.pending = append(d.pending, pendingWrite{addr: addr, data: cp, done: done})
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(len(data))
-	if src >= 0 && src < numWriteSources {
+	if src >= 0 && src < NumWriteSources {
 		d.stats.BytesBySource[src] += uint64(len(data))
+	}
+	if d.recOn {
+		// Post-to-durable latency, including any queue-full stall and
+		// deferred issue.
+		d.rec.Latency(d.writeHist, uint64(done-now))
 	}
 	return ack, done
 }

@@ -1,0 +1,60 @@
+package mem
+
+import "encoding/json"
+
+// JSON marshaling for device counters. Field names are part of the bench
+// and metrics wire format (BENCH_PR1.json, -metrics-out); keep them stable.
+
+type sourceBytesJSON struct {
+	CPU        uint64 `json:"cpu"`
+	Checkpoint uint64 `json:"checkpoint"`
+	Migration  uint64 `json:"migration"`
+}
+
+type deviceStatsJSON struct {
+	Reads         uint64          `json:"reads"`
+	Writes        uint64          `json:"writes"`
+	BytesRead     uint64          `json:"bytes_read"`
+	BytesWritten  uint64          `json:"bytes_written"`
+	RowHits       uint64          `json:"row_hits"`
+	RowMisses     uint64          `json:"row_misses"`
+	BytesBySource sourceBytesJSON `json:"bytes_by_source"`
+}
+
+// MarshalJSON implements json.Marshaler with stable, named per-source
+// traffic fields instead of a positional array.
+func (d DeviceStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(deviceStatsJSON{
+		Reads:        d.Reads,
+		Writes:       d.Writes,
+		BytesRead:    d.BytesRead,
+		BytesWritten: d.BytesWritten,
+		RowHits:      d.RowHits,
+		RowMisses:    d.RowMisses,
+		BytesBySource: sourceBytesJSON{
+			CPU:        d.BytesBySource[SrcCPU],
+			Checkpoint: d.BytesBySource[SrcCheckpoint],
+			Migration:  d.BytesBySource[SrcMigration],
+		},
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler (inverse of MarshalJSON).
+func (d *DeviceStats) UnmarshalJSON(b []byte) error {
+	var j deviceStatsJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*d = DeviceStats{
+		Reads:        j.Reads,
+		Writes:       j.Writes,
+		BytesRead:    j.BytesRead,
+		BytesWritten: j.BytesWritten,
+		RowHits:      j.RowHits,
+		RowMisses:    j.RowMisses,
+	}
+	d.BytesBySource[SrcCPU] = j.BytesBySource.CPU
+	d.BytesBySource[SrcCheckpoint] = j.BytesBySource.Checkpoint
+	d.BytesBySource[SrcMigration] = j.BytesBySource.Migration
+	return nil
+}

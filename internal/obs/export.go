@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes the event log as JSON Lines, one event per line, in
+// recording order. Output is byte-identical across runs of the same seed:
+// every field is derived from simulated cycles and deterministic counters.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range c.Events {
+		if _, err := fmt.Fprintf(bw, "{\"cycle\":%d,\"kind\":%q,\"a\":%d,\"b\":%d}\n",
+			e.Cycle, e.Kind.String(), e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeTS renders a cycle count as a Chrome trace timestamp (microseconds,
+// three decimals) given the clock rate in cycles per microsecond.
+func chromeTS(cycle uint64, cyclesPerUs float64) string {
+	return strconv.FormatFloat(float64(cycle)/cyclesPerUs, 'f', 3, 64)
+}
+
+// WriteChromeTrace writes the recorded run in Chrome trace-event format
+// (the JSON object form, loadable directly in Perfetto or chrome://tracing).
+// cyclesPerUs converts simulated cycles to trace microseconds (3000 for the
+// simulator's 3 GHz clock). Tracks:
+//
+//	tid 1 "epochs"      — one complete (X) slice per execution epoch
+//	tid 2 "checkpoints" — one slice per checkpoint, begin to durable commit
+//	tid 3 "events"      — instants: forced checkpoints, migrations, flushes
+//	counters            — btt/ptt occupancy, dirty pages, NVM bytes/source
+func (c *Collector) WriteChromeTrace(w io.Writer, cyclesPerUs float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	meta := func(name, what string, tid int) {
+		emit(fmt.Sprintf("{\"name\":%q,\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}", what, tid, name))
+	}
+	meta("thynvm", "process_name", 0)
+	meta("epochs", "thread_name", 1)
+	meta("checkpoints", "thread_name", 2)
+	meta("events", "thread_name", 3)
+
+	for _, s := range c.Epochs {
+		emit(fmt.Sprintf("{\"name\":\"epoch %d\",\"cat\":\"epoch\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{\"dirty_blocks\":%d,\"dirty_pages\":%d,\"forced\":%t}}",
+			s.Epoch, chromeTS(s.Start, cyclesPerUs), chromeTS(s.End-s.Start, cyclesPerUs),
+			s.DirtyBlocks, s.DirtyPages, s.Forced))
+		emit(fmt.Sprintf("{\"name\":\"tables\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"btt_live\":%d,\"ptt_live\":%d}}",
+			chromeTS(s.End, cyclesPerUs), s.BTTLive, s.PTTLive))
+		emit(fmt.Sprintf("{\"name\":\"nvm_bytes\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"cpu\":%d,\"checkpoint\":%d,\"migration\":%d}}",
+			chromeTS(s.End, cyclesPerUs), s.NVMBySource[0], s.NVMBySource[1], s.NVMBySource[2]))
+	}
+
+	// Checkpoint slices are reconstructed by pairing begin/complete events
+	// on epoch id; iteration follows the event log, so output order is
+	// deterministic.
+	ckptBegin := make(map[uint64]uint64)
+	for _, e := range c.Events {
+		switch e.Kind {
+		case EvCkptBegin:
+			ckptBegin[e.A] = e.Cycle
+		case EvCkptComplete:
+			if begin, ok := ckptBegin[e.A]; ok {
+				delete(ckptBegin, e.A)
+				emit(fmt.Sprintf("{\"name\":\"checkpoint %d\",\"cat\":\"ckpt\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":2,\"args\":{\"drain_cycles\":%d}}",
+					e.A, chromeTS(begin, cyclesPerUs), chromeTS(e.Cycle-begin, cyclesPerUs), e.B))
+			}
+		case EvCkptForced, EvMigrationIn, EvMigrationOut, EvCacheFlush:
+			emit(fmt.Sprintf("{\"name\":%q,\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":1,\"tid\":3,\"args\":{\"a\":%d,\"b\":%d}}",
+				e.Kind.String(), chromeTS(e.Cycle, cyclesPerUs), e.A, e.B))
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// histJSON is the exported form of one histogram; only populated buckets
+// are emitted, each with its inclusive value bounds.
+type histJSON struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum_cycles"`
+	Min     uint64       `json:"min_cycles"`
+	Max     uint64       `json:"max_cycles"`
+	Mean    float64      `json:"mean_cycles"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type bucketJSON struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+type metricsJSON struct {
+	Epochs     []EpochSample `json:"epochs"`
+	Histograms []histJSON    `json:"histograms"`
+}
+
+// WriteMetricsJSON writes the per-epoch time series and the latency
+// histograms as one indented JSON document (the -metrics-out wire format).
+func (c *Collector) WriteMetricsJSON(w io.Writer) error {
+	doc := metricsJSON{Epochs: c.Epochs}
+	if doc.Epochs == nil {
+		doc.Epochs = []EpochSample{}
+	}
+	for id := HistID(0); id < NumHists; id++ {
+		h := &c.Hists[id]
+		hj := histJSON{
+			Name:    id.String(),
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Min:     h.Min,
+			Max:     h.Max,
+			Mean:    h.Mean(),
+			Buckets: []bucketJSON{},
+		}
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			lo, hi := BucketBounds(i)
+			hj.Buckets = append(hj.Buckets, bucketJSON{Lo: lo, Hi: hi, Count: n})
+		}
+		doc.Histograms = append(doc.Histograms, hj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

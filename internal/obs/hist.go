@@ -1,0 +1,64 @@
+package obs
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of every latency histogram. Bucket 0
+// holds only zero; bucket b (b >= 1) holds values in [2^(b-1), 2^b). The
+// last bucket additionally absorbs everything at or above its lower bound,
+// so no observation is ever dropped. 2^46 cycles is about 6.5 hours of
+// simulated time at 3 GHz — far beyond any run this simulator makes.
+const NumBuckets = 48
+
+// Histogram is a fixed log2-bucket latency histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64 // meaningful only when Count > 0
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// bucketOf returns the bucket index for value v: 0 for zero, otherwise
+// bits.Len64(v) clamped to the last bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// BucketBounds returns the inclusive value range [lo, hi] covered by bucket
+// i. Bucket 0 is [0, 0]; the last bucket's hi is the maximum uint64.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i == NumBuckets-1 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(1)<<i - 1
+}

@@ -1,0 +1,206 @@
+// Package obs is the simulator's telemetry layer: cycle-stamped event
+// logs, per-epoch time series, and fixed-bucket latency histograms, behind
+// a Recorder interface whose no-op default costs nothing on the hot paths.
+//
+// Design constraints:
+//
+//   - Deterministic. Every datum is keyed on simulated cycles, never
+//     wall-clock time, so two runs of the same seed export byte-identical
+//     traces.
+//   - Free when disabled. The Nop recorder's methods take only scalars and
+//     value structs, so calls through the interface allocate nothing;
+//     instrumentation sites additionally guard with a cached boolean so a
+//     detached recorder costs one predictable branch.
+//   - Dependency-free. The package imports only the standard library (it
+//     sits below internal/mem in the dependency order), so cycles are plain
+//     uint64 here; callers convert from mem.Cycle.
+//
+// The concrete Collector accumulates everything in memory and exports the
+// event log as JSONL or Chrome trace-event JSON (loadable in Perfetto) and
+// the epoch series + histograms as a metrics JSON document.
+package obs
+
+// NumWriteSources mirrors mem.NumWriteSources (CPU, Checkpoint, Migration).
+// A compile-time assertion in internal/mem keeps the two in sync.
+const NumWriteSources = 3
+
+// EventKind enumerates the structured event log's entry types.
+type EventKind uint8
+
+const (
+	// EvEpochBegin marks the start of an execution epoch. A = epoch id.
+	EvEpochBegin EventKind = iota
+	// EvEpochEnd marks the end of an execution epoch. A = epoch id.
+	EvEpochEnd
+	// EvCkptBegin marks the start of a checkpoint (CPU stalled, working
+	// copies being staged). A = epoch id, B = 1 if forced by table overflow.
+	EvCkptBegin
+	// EvCkptDrain marks the instant the CPU resumes while the checkpoint
+	// keeps draining in the background. A = epoch id, B = cycles of drain
+	// still outstanding at that instant.
+	EvCkptDrain
+	// EvCkptComplete marks a checkpoint commit becoming durable.
+	// A = epoch id, B = total drain cycles (begin to commit).
+	EvCkptComplete
+	// EvCkptForced marks a checkpoint requested by table-overflow pressure
+	// rather than the epoch timer. A = epoch id.
+	EvCkptForced
+	// EvMigrationIn marks a page switching to page-writeback management.
+	// A = page index.
+	EvMigrationIn
+	// EvMigrationOut marks a page switching back to block remapping.
+	// A = page index.
+	EvMigrationOut
+	// EvCacheFlush marks the harness's dirty-cache flush before a
+	// checkpoint. A = blocks flushed, B = flush cycles.
+	EvCacheFlush
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvEpochBegin:   "epoch_begin",
+	EvEpochEnd:     "epoch_end",
+	EvCkptBegin:    "ckpt_begin",
+	EvCkptDrain:    "ckpt_drain",
+	EvCkptComplete: "ckpt_complete",
+	EvCkptForced:   "ckpt_forced",
+	EvMigrationIn:  "migration_in",
+	EvMigrationOut: "migration_out",
+	EvCacheFlush:   "cache_flush",
+}
+
+// String names the event kind as it appears in exported traces.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured log entry, stamped with its simulated cycle. The
+// meaning of A and B depends on Kind (see the EventKind constants).
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	A, B  uint64
+}
+
+// HistID selects one of the fixed latency histograms.
+type HistID uint8
+
+const (
+	// HistBlockRead is controller-level block read latency (lookup + device).
+	HistBlockRead HistID = iota
+	// HistBlockWrite is controller-level block write latency until the
+	// issuer may proceed.
+	HistBlockWrite
+	// HistCkptDrain is checkpoint drain latency (begin to durable commit).
+	HistCkptDrain
+	// HistNVMRead / HistNVMWrite are NVM device access latencies
+	// (writes: post to durable).
+	HistNVMRead
+	HistNVMWrite
+	// HistDRAMRead / HistDRAMWrite are the DRAM equivalents.
+	HistDRAMRead
+	HistDRAMWrite
+
+	NumHists
+)
+
+var histNames = [NumHists]string{
+	HistBlockRead:  "block_read",
+	HistBlockWrite: "block_write",
+	HistCkptDrain:  "ckpt_drain",
+	HistNVMRead:    "nvm_read",
+	HistNVMWrite:   "nvm_write",
+	HistDRAMRead:   "dram_read",
+	HistDRAMWrite:  "dram_write",
+}
+
+// String names the histogram as it appears in exported metrics.
+func (h HistID) String() string {
+	if h < NumHists {
+		return histNames[h]
+	}
+	return "unknown"
+}
+
+// EpochSample is one point of the per-epoch time series, emitted at every
+// BeginCheckpoint. Counter fields are deltas since the previous sample, so
+// summing a run's samples reproduces the controller's aggregate stats as of
+// the last checkpoint.
+type EpochSample struct {
+	// Epoch is the id of the epoch this sample closes.
+	Epoch uint64 `json:"epoch"`
+	// Start and End are the epoch's first and last cycles (End is the
+	// BeginCheckpoint instant).
+	Start uint64 `json:"start_cycle"`
+	End   uint64 `json:"end_cycle"`
+
+	// Stall is in-line execution time lost to checkpoint waits this epoch;
+	// Busy is background checkpoint-drain time accrued since the previous
+	// sample (a checkpoint's drain lands in the epoch that follows it).
+	Stall uint64 `json:"ckpt_stall_cycles"`
+	Busy  uint64 `json:"ckpt_busy_cycles"`
+
+	// DirtyBlocks and DirtyPages count working copies staged by the
+	// checkpoint that closes this epoch.
+	DirtyBlocks uint64 `json:"dirty_blocks"`
+	DirtyPages  uint64 `json:"dirty_pages"`
+
+	// BTTLive and PTTLive are translation-table occupancy at sample time.
+	BTTLive uint64 `json:"btt_live"`
+	PTTLive uint64 `json:"ptt_live"`
+
+	// Scheme-switching and table-pressure deltas.
+	MigrationsIn  uint64 `json:"migrations_in"`
+	MigrationsOut uint64 `json:"migrations_out"`
+	Spills        uint64 `json:"table_spills"`
+	Buffered      uint64 `json:"buffered_block_writes"`
+
+	// Traffic deltas in bytes. NVMBySource is indexed by mem.WriteSource
+	// (CPU, Checkpoint, Migration).
+	NVMBySource [NumWriteSources]uint64 `json:"nvm_bytes_by_source"`
+	NVMWritten  uint64                  `json:"nvm_bytes_written"`
+	NVMRead     uint64                  `json:"nvm_bytes_read"`
+	DRAMWritten uint64                  `json:"dram_bytes_written"`
+
+	// Forced reports that table overflow, not the epoch timer, triggered
+	// the checkpoint that closed this epoch.
+	Forced bool `json:"forced"`
+}
+
+// Recorder receives telemetry from instrumented components. Implementations
+// must not retain argument aliases beyond the call. All methods take scalars
+// or value structs so that a no-op implementation allocates nothing.
+type Recorder interface {
+	// Enabled reports whether recording actually happens; instrumentation
+	// sites cache it to skip work when detached.
+	Enabled() bool
+	// Event appends one structured log entry at the given simulated cycle.
+	Event(cycle uint64, kind EventKind, a, b uint64)
+	// Latency adds one observation (in cycles) to the selected histogram.
+	Latency(h HistID, cycles uint64)
+	// EpochSample appends one per-epoch time-series point.
+	EpochSample(s EpochSample)
+}
+
+// Nop is the zero-allocation default Recorder: every method is an empty
+// body, so instrumentation through it costs one interface call and nothing
+// else.
+type Nop struct{}
+
+// Enabled implements Recorder (always false).
+func (Nop) Enabled() bool { return false }
+
+// Event implements Recorder (discard).
+func (Nop) Event(uint64, EventKind, uint64, uint64) {}
+
+// Latency implements Recorder (discard).
+func (Nop) Latency(HistID, uint64) {}
+
+// EpochSample implements Recorder (discard).
+func (Nop) EpochSample(EpochSample) {}
+
+var _ Recorder = Nop{}

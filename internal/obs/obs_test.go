@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<11 - 1, 11},
+		{1 << 46, NumBuckets - 1},               // clamped into the last bucket
+		{^uint64(0), NumBuckets - 1},            // max value does not overflow
+		{1 << (NumBuckets - 2), NumBuckets - 1}, // exactly last bucket's lo
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every value must land inside its bucket's bounds (except clamped
+	// overflow, which the last bucket absorbs by construction).
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo > 0 && bucketOf(lo) != i {
+			t.Errorf("bucket %d: lo %d maps to bucket %d", i, lo, bucketOf(lo))
+		}
+		if hi > 0 && bucketOf(hi) != i {
+			t.Errorf("bucket %d: hi %d maps to bucket %d", i, hi, bucketOf(hi))
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("bucket 0 bounds = [%d,%d], want [0,0]", lo, hi)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{5, 0, 100, 3} {
+		h.Observe(v)
+	}
+	if h.Count != 4 || h.Sum != 108 || h.Min != 0 || h.Max != 100 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", h.Count, h.Sum, h.Min, h.Max)
+	}
+	if got := h.Mean(); got != 27 {
+		t.Fatalf("mean = %v, want 27", got)
+	}
+	var total uint64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != h.Count {
+		t.Fatalf("bucket total %d != count %d", total, h.Count)
+	}
+}
+
+// TestNopRecorderAllocates0 is the zero-cost-when-disabled guarantee: the
+// no-op recorder must not allocate on any hot-path method.
+func TestNopRecorderAllocates0(t *testing.T) {
+	var r Recorder = Nop{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Latency(HistBlockRead, 120)
+		r.Event(42, EvCkptBegin, 1, 0)
+		r.EpochSample(EpochSample{Epoch: 1, Start: 0, End: 100})
+		_ = r.Enabled()
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop recorder allocated %v bytes/op, want 0", allocs)
+	}
+}
+
+// TestCollectorLatencyAllocates0 checks the per-observation histogram path
+// is allocation-free too (only Events/Epochs appends may allocate).
+func TestCollectorLatencyAllocates0(t *testing.T) {
+	c := NewCollector()
+	var r Recorder = c
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Latency(HistNVMWrite, 360)
+	})
+	if allocs != 0 {
+		t.Fatalf("Collector.Latency allocated %v bytes/op, want 0", allocs)
+	}
+}
+
+func sampleCollector() *Collector {
+	c := NewCollector()
+	c.Event(100, EvEpochEnd, 0, 0)
+	c.Event(100, EvCkptBegin, 0, 1)
+	c.Event(109, EvCkptDrain, 0, 891)
+	c.Event(1000, EvCkptComplete, 0, 900)
+	c.Event(109, EvEpochBegin, 1, 0)
+	c.Event(500, EvMigrationIn, 7, 0)
+	c.Latency(HistBlockRead, 120)
+	c.Latency(HistCkptDrain, 900)
+	c.EpochSample(EpochSample{
+		Epoch: 0, Start: 0, End: 100,
+		DirtyBlocks: 3, BTTLive: 3,
+		NVMBySource: [NumWriteSources]uint64{192, 4096, 0},
+		NVMWritten:  4288, Forced: true,
+	})
+	return c
+}
+
+func TestWriteJSONLDeterministicAndValid(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleCollector().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleCollector().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical collectors exported different JSONL")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d JSONL lines, want 6", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		for _, key := range []string{"cycle", "kind", "a", "b"} {
+			if _, ok := m[key]; !ok {
+				t.Fatalf("line %q missing key %q", line, key)
+			}
+		}
+	}
+	if !strings.Contains(lines[1], `"kind":"ckpt_begin"`) {
+		t.Fatalf("unexpected second line: %q", lines[1])
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCollector().WriteChromeTrace(&buf, 3000); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var haveEpoch, haveCkpt, haveInstant bool
+	for _, e := range doc.TraceEvents {
+		switch e["cat"] {
+		case "epoch":
+			haveEpoch = true
+		case "ckpt":
+			haveCkpt = true
+		case "event":
+			haveInstant = true
+		}
+	}
+	if !haveEpoch || !haveCkpt || !haveInstant {
+		t.Fatalf("missing track: epoch=%t ckpt=%t instant=%t", haveEpoch, haveCkpt, haveInstant)
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCollector().WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Epochs     []EpochSample `json:"epochs"`
+		Histograms []struct {
+			Name    string `json:"name"`
+			Count   uint64 `json:"count"`
+			Buckets []struct {
+				Lo, Hi, Count uint64
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if len(doc.Epochs) != 1 || doc.Epochs[0].NVMWritten != 4288 {
+		t.Fatalf("epoch series mismatch: %+v", doc.Epochs)
+	}
+	if len(doc.Histograms) != int(NumHists) {
+		t.Fatalf("got %d histograms, want %d", len(doc.Histograms), NumHists)
+	}
+	if doc.Histograms[HistBlockRead].Count != 1 {
+		t.Fatalf("block_read count = %d, want 1", doc.Histograms[HistBlockRead].Count)
+	}
+}
+
+func TestSumEpochs(t *testing.T) {
+	c := NewCollector()
+	c.EpochSample(EpochSample{NVMWritten: 100, Stall: 5, NVMBySource: [NumWriteSources]uint64{60, 40, 0}})
+	c.EpochSample(EpochSample{NVMWritten: 50, Stall: 2, MigrationsIn: 1, NVMBySource: [NumWriteSources]uint64{10, 30, 10}})
+	sum := c.SumEpochs()
+	if sum.NVMWritten != 150 || sum.Stall != 7 || sum.MigrationsIn != 1 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if sum.NVMBySource != ([NumWriteSources]uint64{70, 70, 10}) {
+		t.Fatalf("by-source sum = %v", sum.NVMBySource)
+	}
+}
+
+// BenchmarkNopRecorder quantifies the disabled-path cost (one interface
+// call with scalar args).
+func BenchmarkNopRecorder(b *testing.B) {
+	var r Recorder = Nop{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Latency(HistBlockWrite, uint64(i))
+	}
+}

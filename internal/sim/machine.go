@@ -13,6 +13,7 @@ import (
 	"thynvm/internal/cpu"
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Machine is one simulated system instance. It is not safe for concurrent
@@ -47,6 +48,9 @@ type Machine struct {
 	ckptCalls     uint64
 	ckptCallStall mem.Cycle
 	flushedBlocks uint64
+
+	rec   obs.Recorder
+	recOn bool
 }
 
 // NewMachine builds a machine over ctrl. withCaches selects the paper's
@@ -60,6 +64,15 @@ func NewMachine(ctrl ctl.Controller, withCaches bool) *Machine {
 		m.hier = cache.NewHierarchy(ctrl)
 	}
 	return m
+}
+
+// SetRecorder attaches a telemetry recorder to the machine and, via
+// ctl.Attach, to its controller. It reports whether the controller accepted
+// the recorder (all in-tree controllers do). Pass nil to detach.
+func (m *Machine) SetRecorder(r obs.Recorder) bool {
+	m.rec = r
+	m.recOn = r != nil && r.Enabled()
+	return ctl.Attach(m.ctrl, r)
 }
 
 // Now returns the current simulated cycle.
@@ -140,6 +153,9 @@ func (m *Machine) Checkpoint() {
 	flushDone, n := m.hier.FlushDirty(m.now, m.flushIssueCost)
 	m.flushedBlocks += uint64(n)
 	m.now = flushDone
+	if m.recOn {
+		m.rec.Event(uint64(start), obs.EvCacheFlush, uint64(n), uint64(flushDone-start))
+	}
 	if m.PreCheckpoint != nil {
 		m.PreCheckpoint(m)
 	}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult exercises every field, including the per-source device
+// breakdown, with distinct values so a swapped field shows up.
+func goldenResult() Result {
+	r := Result{
+		Workload:     "Random",
+		System:       "ThyNVM",
+		Ops:          50_000,
+		Instructions: 250_000,
+		Cycles:       9_876_543,
+		IPC:          0.02531,
+		CkptStall:    123_456,
+		PctCkpt:      0.0125,
+		MemStall:     7_654_321,
+		Checkpoints:  17,
+		Ctrl: ctl.Stats{
+			Epochs:              17,
+			Commits:             16,
+			CkptStall:           100_000,
+			CkptBusy:            900_000,
+			MemStall:            5_000,
+			MigrationsIn:        12,
+			MigrationsOut:       3,
+			TableSpills:         1,
+			PeakBTTLive:         2_048,
+			PeakPTTLive:         512,
+			BufferedBlockWrites: 77,
+			NVM: mem.DeviceStats{
+				Reads: 1000, Writes: 2000,
+				BytesRead: 64_000, BytesWritten: 128_000,
+				RowHits: 1500, RowMisses: 1500,
+			},
+			DRAM: mem.DeviceStats{
+				Reads: 3000, Writes: 4000,
+				BytesRead: 192_000, BytesWritten: 256_000,
+				RowHits: 6000, RowMisses: 1000,
+			},
+		},
+	}
+	r.Ctrl.NVM.BytesBySource[mem.SrcCPU] = 100_000
+	r.Ctrl.NVM.BytesBySource[mem.SrcCheckpoint] = 27_000
+	r.Ctrl.NVM.BytesBySource[mem.SrcMigration] = 1_000
+	r.Ctrl.DRAM.BytesBySource[mem.SrcCPU] = 256_000
+	return r
+}
+
+// TestResultJSONGolden pins the Result wire format: BENCH_PR1.json and
+// -metrics-out consumers parse these field names, so a rename must be a
+// deliberate act (go test ./internal/sim -run ResultJSONGolden -update).
+func TestResultJSONGolden(t *testing.T) {
+	got, err := json.MarshalIndent(goldenResult(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "result_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("Result JSON drifted from golden file.\ngot:\n%s\nwant:\n%s\n(if intentional, rerun with -update)", got, want)
+	}
+}
+
+// TestResultJSONRoundTrip ensures unmarshaling reproduces the struct, i.e.
+// no field is write-only or shadowed by a duplicate tag.
+func TestResultJSONRoundTrip(t *testing.T) {
+	want := goldenResult()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}

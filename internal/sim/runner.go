@@ -11,30 +11,32 @@ import (
 
 // Result summarizes one workload execution on one system, carrying every
 // quantity the paper's tables and figures report.
+// The json tags are part of the bench/metrics wire format (BENCH_PR1.json,
+// -metrics-out); keep them stable.
 type Result struct {
-	Workload string
-	System   string
+	Workload string `json:"workload"`
+	System   string `json:"system"`
 
-	Ops          uint64    // memory operations executed
-	Instructions uint64    // total retired instructions
-	Cycles       mem.Cycle // execution time
-	IPC          float64
+	Ops          uint64    `json:"ops"`          // memory operations executed
+	Instructions uint64    `json:"instructions"` // total retired instructions
+	Cycles       mem.Cycle `json:"cycles"`       // execution time
+	IPC          float64   `json:"ipc"`
 
 	// CkptStall is total execution time lost to checkpointing: harness-
 	// observed checkpoint calls (cache flush + controller begin) plus the
 	// controller's in-line checkpoint waits. PctCkpt is its share of the
 	// execution time (the "% exec time spent on ckpt" of Figure 8).
-	CkptStall mem.Cycle
-	PctCkpt   float64
+	CkptStall mem.Cycle `json:"ckpt_stall_cycles"`
+	PctCkpt   float64   `json:"pct_ckpt"`
 
 	// MemStall is core time lost waiting on memory.
-	MemStall mem.Cycle
+	MemStall mem.Cycle `json:"mem_stall_cycles"`
 
-	Checkpoints uint64
+	Checkpoints uint64 `json:"checkpoints"`
 
 	// Ctrl carries the controller/device counters (NVM traffic breakdown,
 	// migrations, table pressure).
-	Ctrl ctl.Stats
+	Ctrl ctl.Stats `json:"ctrl"`
 }
 
 // NVMWriteMB returns total NVM write traffic in megabytes.

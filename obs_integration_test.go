@@ -1,0 +1,130 @@
+package thynvm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"thynvm"
+	"thynvm/internal/obs"
+)
+
+// telemetryRun executes one seeded workload with a collector attached and
+// returns the three export formats plus the result.
+func telemetryRun(t *testing.T, k thynvm.SystemKind) (jsonl, chrome, metrics []byte, res thynvm.Result) {
+	t.Helper()
+	sys := thynvm.MustNewSystem(k, smallOpts())
+	col := obs.NewCollector()
+	if !sys.SetRecorder(col) {
+		t.Fatalf("%v: controller did not accept the recorder", k)
+	}
+	res = sys.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
+	sys.Drain()
+	var a, b, c bytes.Buffer
+	if err := col.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteChromeTrace(&b, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteMetricsJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes(), c.Bytes(), res
+}
+
+// TestTelemetryDeterministic checks that same-seed runs produce
+// byte-identical telemetry in every export format, for every system: all
+// telemetry is keyed on simulated cycles, never wall-clock.
+func TestTelemetryDeterministic(t *testing.T) {
+	for _, k := range thynvm.AllSystems() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			j1, c1, m1, r1 := telemetryRun(t, k)
+			j2, c2, m2, r2 := telemetryRun(t, k)
+			if !bytes.Equal(j1, j2) {
+				t.Error("JSONL event logs differ between same-seed runs")
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Error("Chrome traces differ between same-seed runs")
+			}
+			if !bytes.Equal(m1, m2) {
+				t.Error("metrics JSON differs between same-seed runs")
+			}
+			if r1.Cycles != r2.Cycles {
+				t.Errorf("cycles differ between same-seed runs: %d vs %d", r1.Cycles, r2.Cycles)
+			}
+			if len(j1) == 0 && k != thynvm.SystemIdealDRAM && k != thynvm.SystemIdealNVM {
+				t.Error("no events recorded on a checkpointing system")
+			}
+		})
+	}
+}
+
+// TestTelemetryDoesNotPerturb checks that attaching a recorder is purely
+// observational: the simulated timeline is identical with and without it.
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	for _, k := range thynvm.AllSystems() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			plain := thynvm.MustNewSystem(k, smallOpts())
+			r1 := plain.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
+			plain.Drain()
+
+			_, _, _, r2 := telemetryRun(t, k)
+			if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
+				t.Errorf("recorder perturbed the simulation: %d cycles / %d instr vs %d / %d",
+					r1.Cycles, r1.Instructions, r2.Cycles, r2.Instructions)
+			}
+		})
+	}
+}
+
+// TestEpochSeriesSumsToStats checks the delta property of the per-epoch
+// time series: summed over all epochs, the series reproduces the
+// controller's aggregate counters at the instant of the last sample (which
+// is emitted at the end of BeginCheckpoint).
+func TestEpochSeriesSumsToStats(t *testing.T) {
+	for _, k := range thynvm.AllSystems() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			sys := thynvm.MustNewSystem(k, smallOpts())
+			col := obs.NewCollector()
+			if !sys.SetRecorder(col) {
+				t.Fatalf("%v: controller did not accept the recorder", k)
+			}
+			sys.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
+			// Close the final partial epoch so its activity is sampled, and
+			// read the aggregate stats at that same instant.
+			sys.Checkpoint()
+			st := sys.Stats()
+
+			if len(col.Epochs) == 0 {
+				t.Fatal("no epoch samples recorded")
+			}
+			sum := col.SumEpochs()
+			check := func(name string, got, want uint64) {
+				if got != want {
+					t.Errorf("sum of per-epoch %s = %d, aggregate Stats says %d", name, got, want)
+				}
+			}
+			check("ckpt_stall_cycles", sum.Stall, uint64(st.CkptStall))
+			check("ckpt_busy_cycles", sum.Busy, uint64(st.CkptBusy))
+			check("migrations_in", sum.MigrationsIn, st.MigrationsIn)
+			check("migrations_out", sum.MigrationsOut, st.MigrationsOut)
+			check("table_spills", sum.Spills, st.TableSpills)
+			check("buffered_block_writes", sum.Buffered, st.BufferedBlockWrites)
+			check("nvm_bytes_written", sum.NVMWritten, st.NVM.BytesWritten)
+			check("nvm_bytes_read", sum.NVMRead, st.NVM.BytesRead)
+			check("dram_bytes_written", sum.DRAMWritten, st.DRAM.BytesWritten)
+			for i := range sum.NVMBySource {
+				check("nvm_bytes_by_source", sum.NVMBySource[i], st.NVM.BytesBySource[i])
+			}
+			// Epoch ids must be the consecutive series 0..n-1.
+			for i, s := range col.Epochs {
+				if s.Epoch != uint64(i) {
+					t.Fatalf("epoch sample %d has id %d", i, s.Epoch)
+				}
+			}
+		})
+	}
+}

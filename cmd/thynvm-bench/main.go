@@ -4,16 +4,21 @@
 // Usage:
 //
 //	thynvm-bench [-exp all|table1|table2|fig7|fig8|fig9|fig10|fig11|fig12]
-//	             [-scale small|default] [-csv] [-json-out BENCH_PR1.json]
+//	             [-scale small|default] [-parallel N] [-csv]
+//	             [-json-out BENCH_PR<N>.json]
 //
 // With -csv the tables are additionally emitted as CSV to stdout. Whenever
-// the micro-benchmark sweep runs (-exp all, fig7 or fig8), its results are
-// also written machine-readable to -json-out (default BENCH_PR1.json; set
-// to "" to disable).
+// the micro-benchmark sweep runs (-exp all, fig7 or fig8), its results can
+// also be written machine-readable with -json-out (the repo convention is
+// BENCH_PR<N>.json per PR; see README).
+//
+// -parallel fans the independent cells of each sweep across N workers
+// (default: GOMAXPROCS). Results are assembled in canonical order, so the
+// tables, CSV and JSON are byte-identical for every N.
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,53 +30,37 @@ import (
 	"thynvm"
 )
 
-// benchEntry is one (workload, system) data point of the machine-readable
-// benchmark output. The json field names are the wire format; keep stable.
-type benchEntry struct {
-	Workload   string  `json:"workload"`
-	System     string  `json:"system"`
-	Cycles     uint64  `json:"cycles"`
-	IPC        float64 `json:"ipc"`
-	CkptPct    float64 `json:"ckpt_pct"`
-	NVMWriteMB float64 `json:"nvm_write_mb"`
+// usageError marks errors that should exit with status 2 (bad invocation
+// rather than a failed run).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
 }
 
-// writeBenchJSON emits the micro-benchmark sweep in deterministic
-// workload-then-system order.
-func writeBenchJSON(path, scale string, mr *thynvm.MicroResults) error {
-	entries := make([]benchEntry, 0, len(thynvm.MicroNames())*len(thynvm.AllSystems()))
-	for _, w := range thynvm.MicroNames() {
-		for _, k := range thynvm.AllSystems() {
-			r, ok := mr.Results[w][k]
-			if !ok {
-				continue
-			}
-			entries = append(entries, benchEntry{
-				Workload:   r.Workload,
-				System:     r.System,
-				Cycles:     uint64(r.Cycles),
-				IPC:        r.IPC,
-				CkptPct:    r.PctCkpt * 100,
-				NVMWriteMB: r.NVMWriteMB(),
-			})
-		}
-	}
-	out := struct {
-		Scale   string       `json:"scale"`
-		Results []benchEntry `json:"results"`
-	}{Scale: scale, Results: entries}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
+// main only maps run's error to an exit status. All cleanup lives in
+// deferred calls inside run, so profiles and output files are flushed even
+// when an experiment fails (os.Exit skips defers; returning does not).
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thynvm-bench:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig7..fig12, epochs, recovery")
 	scaleName := flag.String("scale", "default", "experiment scale: small or default")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = sequential; output is identical for any value)")
 	csv := flag.Bool("csv", false, "also emit CSV")
-	jsonOut := flag.String("json-out", "BENCH_PR1.json", "write micro-benchmark results as JSON to this file (empty to disable)")
+	jsonOut := flag.String("json-out", "", "write micro-benchmark results as JSON to this file (convention: BENCH_PR<N>.json; empty to disable)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -79,13 +68,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -97,131 +84,139 @@ func main() {
 	case "default":
 		sc = thynvm.ScaleDefault()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return usagef("unknown scale %q", *scaleName)
 	}
+	sc.Parallel = *parallel
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
-	emit := func(t *thynvm.Table) {
+	emit := func(t *thynvm.Table) error {
 		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if *csv {
 			if err := t.CSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Println()
 		}
+		return nil
 	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "thynvm-bench:", err)
-		os.Exit(1)
-	}
-	timed := func(name string, f func()) {
+	// Progress and timing lines go to stderr: stdout carries only the
+	// tables (and CSV), which are byte-identical for every -parallel value.
+	timed := func(name string, f func() error) error {
 		start := time.Now()
-		f()
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if err := f(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
-	fmt.Printf("ThyNVM evaluation reproduction (scale=%s)\n%s\n\n", *scaleName, strings.Repeat("=", 60))
+	fmt.Printf("ThyNVM evaluation reproduction (scale=%s)\n%s\n\n",
+		*scaleName, strings.Repeat("=", 60))
+	fmt.Fprintf(os.Stderr, "[running with parallel=%d]\n", *parallel)
 
 	if want("table2") {
-		emit(thynvm.Table2())
+		if err := emit(thynvm.Table2()); err != nil {
+			return err
+		}
 	}
 	if want("table1") {
-		timed("table1", func() {
+		if err := timed("table1", func() error {
 			t, err := thynvm.RunTable1(sc)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			emit(t)
-		})
+			return emit(t)
+		}); err != nil {
+			return err
+		}
 	}
 	if want("fig7") || want("fig8") {
-		timed("fig7+fig8", func() {
+		if err := timed("fig7+fig8", func() error {
 			mr, err := thynvm.RunMicro(sc)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if want("fig7") {
-				emit(mr.Fig7())
+				if err := emit(mr.Fig7()); err != nil {
+					return err
+				}
 			}
 			if want("fig8") {
-				emit(mr.Fig8())
+				if err := emit(mr.Fig8()); err != nil {
+					return err
+				}
 			}
 			if *jsonOut != "" {
-				if err := writeBenchJSON(*jsonOut, *scaleName, mr); err != nil {
-					fail(err)
+				data, err := mr.BenchJSON(*scaleName)
+				if err != nil {
+					return err
 				}
-				fmt.Printf("[micro-benchmark results written to %s]\n\n", *jsonOut)
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "[micro-benchmark results written to %s]\n", *jsonOut)
 			}
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want("fig9") || want("fig10") {
-		timed("fig9+fig10", func() {
+		if err := timed("fig9+fig10", func() error {
 			kr, err := thynvm.RunKV(sc)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if want("fig9") {
-				emit(kr.Fig9())
+				if err := emit(kr.Fig9()); err != nil {
+					return err
+				}
 			}
 			if want("fig10") {
-				emit(kr.Fig10())
+				return emit(kr.Fig10())
 			}
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
-	if want("fig11") {
-		timed("fig11", func() {
-			t, err := thynvm.RunFig11(sc)
+	for _, e := range []struct {
+		name string
+		f    func(thynvm.Scale) (*thynvm.Table, error)
+	}{
+		{"fig11", thynvm.RunFig11},
+		{"fig12", thynvm.RunFig12},
+		{"epochs", func(sc thynvm.Scale) (*thynvm.Table, error) { return thynvm.RunEpochSweep(sc, nil) }},
+		{"recovery", thynvm.RunRecoveryLatency},
+	} {
+		if !want(e.name) {
+			continue
+		}
+		e := e
+		if err := timed(e.name, func() error {
+			t, err := e.f(sc)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			emit(t)
-		})
-	}
-	if want("fig12") {
-		timed("fig12", func() {
-			t, err := thynvm.RunFig12(sc)
-			if err != nil {
-				fail(err)
-			}
-			emit(t)
-		})
-	}
-	if want("epochs") {
-		timed("epochs", func() {
-			t, err := thynvm.RunEpochSweep(sc, nil)
-			if err != nil {
-				fail(err)
-			}
-			emit(t)
-		})
-	}
-	if want("recovery") {
-		timed("recovery", func() {
-			t, err := thynvm.RunRecoveryLatency(sc)
-			if err != nil {
-				fail(err)
-			}
-			emit(t)
-		})
+			return emit(t)
+		}); err != nil {
+			return err
+		}
 	}
 
 	if *memProfile != "" {
 		runtime.GC()
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
-			fail(err)
+			return err
 		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
+		return f.Close()
 	}
+	return nil
 }

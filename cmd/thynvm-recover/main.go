@@ -11,12 +11,12 @@ package main
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"time"
-
-	"flag"
 
 	"thynvm"
 )
@@ -61,7 +61,27 @@ func (a *app) restore(b []byte) error {
 	return err
 }
 
+// usageError marks errors that should exit with status 2 (bad invocation
+// rather than a failed run).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// main only maps run's error to an exit status, so any deferred cleanup
+// inside run always executes (os.Exit would skip it).
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thynvm-recover:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	system := flag.String("system", "thynvm", "memory system")
 	tx := flag.Int("tx", 3000, "transactions before the crash")
 	storeKind := flag.String("store", "hash", "store type: hash or rbtree")
@@ -69,8 +89,7 @@ func main() {
 
 	kind, err := thynvm.ParseSystem(*system)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usageError{err}
 	}
 	opts := thynvm.DefaultOptions()
 	// The demo's working set is cache-resident, so scale the epoch down to
@@ -86,8 +105,7 @@ func main() {
 		a.store, arena, err = sys.NewHashTable(headerAddr, 4096, 16<<20, 512)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	a.arena = arena
 	sys.SetProgramState(a.save, a.restore)
@@ -118,8 +136,7 @@ func main() {
 				v[j] = byte(int(k) + i + j)
 			}
 			if err := a.store.Put(k, v); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			model[k] = v
 		case 1:
@@ -139,33 +156,30 @@ func main() {
 
 	had, err := sys.Recover()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "recovery failed:", err)
-		os.Exit(1)
+		return fmt.Errorf("recovery failed: %w", err)
 	}
 	if !had {
 		fmt.Println("no checkpoint had committed; system restarted from the initial image")
-		return
+		return nil
 	}
 	fmt.Printf("recovered to epoch boundary at transaction %d\n", a.applied)
 
 	snap, ok := snapshots[a.applied]
 	if !ok {
-		fmt.Fprintln(os.Stderr, "FAIL: recovered to an unknown transaction count")
-		os.Exit(1)
+		return fmt.Errorf("FAIL: recovered to an unknown transaction count")
 	}
 	for k, want := range snap {
 		got, ok, err := a.store.Get(k)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if !ok || !bytes.Equal(got, want) {
-			fmt.Fprintf(os.Stderr, "FAIL: key %d diverges after recovery\n", k)
-			os.Exit(1)
+			return fmt.Errorf("FAIL: key %d diverges after recovery", k)
 		}
 	}
 	n, _ := a.store.Len()
 	fmt.Printf("verified: all %d keys match the committed epoch snapshot exactly (store len %d)\n",
 		len(snap), n)
 	fmt.Println("OK — crash consistency held with zero application-side persistence code")
+	return nil
 }

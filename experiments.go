@@ -1,11 +1,13 @@
 package thynvm
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"thynvm/internal/kv"
 	"thynvm/internal/mem"
+	"thynvm/internal/pool"
 )
 
 // Scale controls the size of the reproduced experiments. The paper runs
@@ -33,6 +35,13 @@ type Scale struct {
 	BTTSweep []int
 	// Seed makes all workloads deterministic.
 	Seed int64
+	// Parallel is the number of simulations run concurrently during a
+	// sweep. It is execution policy, not experiment size: every cell of a
+	// sweep builds its own machine, generator and telemetry recorder, and
+	// results are assembled in canonical order, so tables and JSON are
+	// byte-identical for any value. 0 means runtime.GOMAXPROCS(0); 1
+	// forces fully sequential in-line execution.
+	Parallel int
 }
 
 // ScaleSmall completes in a few seconds; used by tests.
@@ -79,6 +88,21 @@ func (sc Scale) options() Options {
 	return o
 }
 
+// runMicroCell runs one micro-benchmark on one freshly built system.
+func (sc Scale) runMicroCell(workload string, kind SystemKind, opts Options) (Result, error) {
+	g, err := sc.micro(workload)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := NewSystem(kind, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sys.Run(g)
+	sys.Drain()
+	return res, nil
+}
+
 func (sc Scale) micro(name string) (Generator, error) {
 	switch name {
 	case "Random":
@@ -101,24 +125,32 @@ type MicroResults struct {
 	Results map[string]map[SystemKind]Result // workload -> system -> result
 }
 
-// RunMicro executes every micro-benchmark on every system.
+// RunMicro executes every micro-benchmark on every system. The cells of
+// the workload x system grid are independent simulations; they are fanned
+// across sc.Parallel workers and reassembled in canonical order.
 func RunMicro(sc Scale) (*MicroResults, error) {
-	out := &MicroResults{Scale: sc, Results: map[string]map[SystemKind]Result{}}
+	type cell struct {
+		w string
+		k SystemKind
+	}
+	var cells []cell
 	for _, w := range MicroNames() {
-		out.Results[w] = map[SystemKind]Result{}
 		for _, k := range AllSystems() {
-			g, err := sc.micro(w)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := NewSystem(k, sc.options())
-			if err != nil {
-				return nil, err
-			}
-			res := sys.Run(g)
-			sys.Drain()
-			out.Results[w][k] = res
+			cells = append(cells, cell{w, k})
 		}
+	}
+	results, err := pool.Run(len(cells), sc.Parallel, func(i int) (Result, error) {
+		return sc.runMicroCell(cells[i].w, cells[i].k, sc.options())
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MicroResults{Scale: sc, Results: map[string]map[SystemKind]Result{}}
+	for i, c := range cells {
+		if out.Results[c.w] == nil {
+			out.Results[c.w] = map[SystemKind]Result{}
+		}
+		out.Results[c.w][c.k] = results[i]
 	}
 	return out, nil
 }
@@ -166,6 +198,49 @@ func (mr *MicroResults) Fig8() *Table {
 	return t
 }
 
+// BenchEntry is one (workload, system) data point of the machine-readable
+// benchmark output written by cmd/thynvm-bench. The json field names are
+// the wire format; keep stable.
+type BenchEntry struct {
+	Workload   string  `json:"workload"`
+	System     string  `json:"system"`
+	Cycles     uint64  `json:"cycles"`
+	IPC        float64 `json:"ipc"`
+	CkptPct    float64 `json:"ckpt_pct"`
+	NVMWriteMB float64 `json:"nvm_write_mb"`
+}
+
+// BenchJSON renders the micro-benchmark sweep as indented JSON in
+// deterministic workload-then-system order (the BENCH_PR<N>.json format).
+func (mr *MicroResults) BenchJSON(scale string) ([]byte, error) {
+	entries := make([]BenchEntry, 0, len(MicroNames())*len(AllSystems()))
+	for _, w := range MicroNames() {
+		for _, k := range AllSystems() {
+			r, ok := mr.Results[w][k]
+			if !ok {
+				continue
+			}
+			entries = append(entries, BenchEntry{
+				Workload:   r.Workload,
+				System:     r.System,
+				Cycles:     uint64(r.Cycles),
+				IPC:        r.IPC,
+				CkptPct:    r.PctCkpt * 100,
+				NVMWriteMB: r.NVMWriteMB(),
+			})
+		}
+	}
+	out := struct {
+		Scale   string       `json:"scale"`
+		Results []BenchEntry `json:"results"`
+	}{Scale: scale, Results: entries}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // KVResult is one cell of the Figures 9/10 sweep.
 type KVResult struct {
 	Store      string
@@ -195,21 +270,29 @@ const (
 )
 
 // RunKV executes the storage benchmarks: both store types, every request
-// size, every system.
+// size, every system. Cells run concurrently (sc.Parallel workers); the
+// result slice keeps the canonical store-size-system order.
 func RunKV(sc Scale) (*KVResults, error) {
-	out := &KVResults{Scale: sc}
+	type cell struct {
+		store string
+		size  int
+		k     SystemKind
+	}
+	var cells []cell
 	for _, storeName := range KVStoreNames() {
 		for _, size := range sc.KVSizes {
 			for _, k := range AllSystems() {
-				r, err := runOneKV(sc, storeName, size, k)
-				if err != nil {
-					return nil, err
-				}
-				out.Results = append(out.Results, r)
+				cells = append(cells, cell{storeName, size, k})
 			}
 		}
 	}
-	return out, nil
+	results, err := pool.Run(len(cells), sc.Parallel, func(i int) (KVResult, error) {
+		return runOneKV(sc, cells[i].store, cells[i].size, cells[i].k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KVResults{Scale: sc, Results: results}, nil
 }
 
 func runOneKV(sc Scale, storeName string, size int, kind SystemKind) (KVResult, error) {
@@ -322,25 +405,42 @@ func RunFig11(sc Scale) (*Table, error) {
 		Header: []string{"benchmark", "IdealDRAM", "IdealNVM", "ThyNVM"},
 	}
 	systems := []SystemKind{SystemIdealDRAM, SystemIdealNVM, SystemThyNVM}
-	var sumNVM, sumThy float64
+	type cell struct {
+		name string
+		k    SystemKind
+	}
+	var cells []cell
 	for _, name := range SPECNames() {
-		ipc := map[SystemKind]float64{}
 		for _, k := range systems {
-			g, err := SPECWorkload(name, sc.SPECFootprintCap, sc.SPECOps, sc.Seed)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := NewSystem(k, sc.options())
-			if err != nil {
-				return nil, err
-			}
-			res := sys.Run(g)
-			sys.Drain()
-			ipc[k] = res.IPC
+			cells = append(cells, cell{name, k})
+		}
+	}
+	ipcs, err := pool.Run(len(cells), sc.Parallel, func(i int) (float64, error) {
+		c := cells[i]
+		g, err := SPECWorkload(c.name, sc.SPECFootprintCap, sc.SPECOps, sc.Seed)
+		if err != nil {
+			return 0, err
+		}
+		sys, err := NewSystem(c.k, sc.options())
+		if err != nil {
+			return 0, err
+		}
+		res := sys.Run(g)
+		sys.Drain()
+		return res.IPC, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumNVM, sumThy float64
+	for i := 0; i < len(cells); i += len(systems) {
+		ipc := map[SystemKind]float64{}
+		for j, k := range systems {
+			ipc[k] = ipcs[i+j]
 		}
 		base := ipc[SystemIdealDRAM]
 		t.Rows = append(t.Rows, []string{
-			name,
+			cells[i].name,
 			"1.000",
 			fmt.Sprintf("%.3f", ipc[SystemIdealNVM]/base),
 			fmt.Sprintf("%.3f", ipc[SystemThyNVM]/base),
@@ -363,7 +463,8 @@ func RunFig12(sc Scale) (*Table, error) {
 		Title:  "Figure 12: Effect of BTT size (hash-table KV store on ThyNVM)",
 		Header: []string{"BTT_entries", "throughput_KTPS", "NVM_write_MB", "checkpoints", "table_spills"},
 	}
-	for _, btt := range sc.BTTSweep {
+	rows, err := pool.Run(len(sc.BTTSweep), sc.Parallel, func(i int) ([]string, error) {
+		btt := sc.BTTSweep[i]
 		opts := sc.options()
 		opts.BTTEntries = btt
 		sys, err := NewSystem(SystemThyNVM, opts)
@@ -398,14 +499,18 @@ func RunFig12(sc Scale) (*Table, error) {
 		sys.Drain()
 		elapsed := (sys.Now() - start).Seconds()
 		cst := sys.Stats()
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", btt),
 			fmt.Sprintf("%.1f", float64(stats.ExecutedOperations)/elapsed/1e3),
 			fmt.Sprintf("%.1f", float64(cst.NVM.BytesWritten)/(1<<20)),
 			fmt.Sprintf("%d", cst.Commits),
 			fmt.Sprintf("%d", cst.TableSpills),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: larger BTT -> fewer forced checkpoints -> less NVM write traffic, higher throughput")
 	return t, nil
 }
@@ -420,36 +525,45 @@ func RunTable1(sc Scale) (*Table, error) {
 		Header: []string{"scheme", "avg_norm_exec", "peak_meta_entries", "ckpt_time_%",
 			"NVM_write_MB"},
 	}
-	// Ideal DRAM reference for normalization.
-	baseCycles := map[string]float64{}
-	for _, w := range MicroNames() {
-		g, err := sc.micro(w)
-		if err != nil {
-			return nil, err
-		}
-		sys, err := NewSystem(SystemIdealDRAM, sc.options())
-		if err != nil {
-			return nil, err
-		}
-		res := sys.Run(g)
-		baseCycles[w] = float64(res.Cycles)
+	// One cell per simulation: the Ideal DRAM normalization references
+	// come first (mode index -1), then every mode x workload run. All
+	// cells fan out through one pool; aggregation happens afterwards in
+	// canonical order.
+	type cell struct {
+		mode int // index into modes, or -1 for the Ideal DRAM reference
+		w    string
 	}
-	for _, mode := range modes {
+	var cells []cell
+	for _, w := range MicroNames() {
+		cells = append(cells, cell{-1, w})
+	}
+	for mi := range modes {
+		for _, w := range MicroNames() {
+			cells = append(cells, cell{mi, w})
+		}
+	}
+	results, err := pool.Run(len(cells), sc.Parallel, func(i int) (Result, error) {
+		c := cells[i]
+		opts := sc.options()
+		kind := SystemIdealDRAM
+		if c.mode >= 0 {
+			kind = SystemThyNVM
+			opts.Mode = modes[c.mode]
+		}
+		return sc.runMicroCell(c.w, kind, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := map[string]float64{}
+	for i, w := range MicroNames() {
+		baseCycles[w] = float64(results[i].Cycles)
+	}
+	for mi, mode := range modes {
 		var normSum, pct, mb float64
 		var peak uint64
-		for _, w := range MicroNames() {
-			g, err := sc.micro(w)
-			if err != nil {
-				return nil, err
-			}
-			opts := sc.options()
-			opts.Mode = mode
-			sys, err := NewSystem(SystemThyNVM, opts)
-			if err != nil {
-				return nil, err
-			}
-			res := sys.Run(g)
-			sys.Drain()
+		for wi, w := range MicroNames() {
+			res := results[len(MicroNames())*(1+mi)+wi]
 			normSum += float64(res.Cycles) / baseCycles[w]
 			pct += res.PctCkpt * 100
 			mb += res.NVMWriteMB()

@@ -13,6 +13,8 @@ package thynvm
 import (
 	"fmt"
 	"time"
+
+	"thynvm/internal/pool"
 )
 
 // RunEpochSweep measures how the epoch length (the configurable persistence
@@ -30,28 +32,39 @@ func RunEpochSweep(sc Scale, epochs []time.Duration) (*Table, error) {
 		Title:  "Epoch-length sensitivity (Sliding workload on ThyNVM; §6's configurable persistence)",
 		Header: []string{"epoch", "norm_exec_vs_DRAM", "ckpt_time_%", "NVM_write_MB", "commits"},
 	}
-	// Ideal DRAM reference once (epoch-independent).
-	base, err := NewSystem(SystemIdealDRAM, sc.options())
-	if err != nil {
-		return nil, err
+	// Cell 0 is the Ideal DRAM reference (epoch-independent); cells 1..n
+	// are the per-epoch ThyNVM runs. All fan out through the pool.
+	type out struct {
+		res     Result
+		commits uint64
 	}
-	ref := base.Run(SlidingWorkload(sc.MicroFootprint, sc.MicroOps, sc.Seed))
-	for _, ep := range epochs {
+	results, err := pool.Run(1+len(epochs), sc.Parallel, func(i int) (out, error) {
 		opts := sc.options()
-		opts.EpochLen = ep
-		sys, err := NewSystem(SystemThyNVM, opts)
+		kind := SystemIdealDRAM
+		if i > 0 {
+			kind = SystemThyNVM
+			opts.EpochLen = epochs[i-1]
+		}
+		sys, err := NewSystem(kind, opts)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
 		res := sys.Run(SlidingWorkload(sc.MicroFootprint, sc.MicroOps, sc.Seed))
 		sys.Drain()
-		st := sys.Stats()
+		return out{res, sys.Stats().Commits}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref := results[0].res
+	for i, ep := range epochs {
+		r := results[1+i]
 		t.Rows = append(t.Rows, []string{
 			ep.String(),
-			fmt.Sprintf("%.3f", float64(res.Cycles)/float64(ref.Cycles)),
-			fmt.Sprintf("%.2f", res.PctCkpt*100),
-			fmt.Sprintf("%.1f", res.NVMWriteMB()),
-			fmt.Sprintf("%d", st.Commits),
+			fmt.Sprintf("%.3f", float64(r.res.Cycles)/float64(ref.Cycles)),
+			fmt.Sprintf("%.2f", r.res.PctCkpt*100),
+			fmt.Sprintf("%.1f", r.res.NVMWriteMB()),
+			fmt.Sprintf("%d", r.commits),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -69,7 +82,9 @@ func RunRecoveryLatency(sc Scale) (*Table, error) {
 		Title:  "Recovery latency after a crash (simulated time until a consistent image)",
 		Header: []string{"system", "recovery_us", "recovered_ok"},
 	}
-	for _, kind := range []SystemKind{SystemThyNVM, SystemJournal, SystemShadow} {
+	kinds := []SystemKind{SystemThyNVM, SystemJournal, SystemShadow}
+	rows, err := pool.Run(len(kinds), sc.Parallel, func(i int) ([]string, error) {
+		kind := kinds[i]
 		sys, err := NewSystem(kind, sc.options())
 		if err != nil {
 			return nil, err
@@ -78,8 +93,7 @@ func RunRecoveryLatency(sc Scale) (*Table, error) {
 		sys.PreCheckpoint = func(m *Machine) {
 			oracle.Capture(m.Controller(), "boundary", m.Now())
 		}
-		res := sys.Run(SlidingWorkload(sc.MicroFootprint, sc.MicroOps, sc.Seed))
-		_ = res
+		sys.Run(SlidingWorkload(sc.MicroFootprint, sc.MicroOps, sc.Seed))
 		sys.Checkpoint()
 		sys.Drain()
 		sys.Crash()
@@ -88,12 +102,16 @@ func RunRecoveryLatency(sc Scale) (*Table, error) {
 			return nil, err
 		}
 		_, _, ok := oracle.Match(sys.Controller())
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			kind.String(),
 			fmt.Sprintf("%.1f", lat.Nanoseconds()/1e3),
 			fmt.Sprintf("%v", ok && state != nil),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"ThyNVM restores from checkpointed tables; shadow paging must consolidate whole pages; "+
 			"this journaling variant applies its log at commit time, so its recovery replays little "+

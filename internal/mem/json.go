@@ -3,7 +3,7 @@ package mem
 import "encoding/json"
 
 // JSON marshaling for device counters. Field names are part of the bench
-// and metrics wire format (BENCH_PR1.json, -metrics-out); keep them stable.
+// and metrics wire format (BENCH_PR<N>.json, -metrics-out); keep them stable.
 
 type sourceBytesJSON struct {
 	CPU        uint64 `json:"cpu"`

@@ -59,7 +59,7 @@ func goldenResult() Result {
 	return r
 }
 
-// TestResultJSONGolden pins the Result wire format: BENCH_PR1.json and
+// TestResultJSONGolden pins the Result wire format: BENCH_PR<N>.json and
 // -metrics-out consumers parse these field names, so a rename must be a
 // deliberate act (go test ./internal/sim -run ResultJSONGolden -update).
 func TestResultJSONGolden(t *testing.T) {

@@ -11,8 +11,8 @@ import (
 
 // Result summarizes one workload execution on one system, carrying every
 // quantity the paper's tables and figures report.
-// The json tags are part of the bench/metrics wire format (BENCH_PR1.json,
-// -metrics-out); keep them stable.
+// The json tags are part of the bench/metrics wire format
+// (BENCH_PR<N>.json, -metrics-out); keep them stable.
 type Result struct {
 	Workload string `json:"workload"`
 	System   string `json:"system"`

@@ -14,6 +14,12 @@ import (
 //
 // These traces are NOT the SPEC binaries (see DESIGN.md, substitutions);
 // they span the locality/intensity spectrum the figure requires.
+//
+// specProfiles is effectively immutable: it is populated here at package
+// init and must never be written afterwards, because concurrent
+// simulations (internal/pool fan-out) read it without locking. All access
+// goes through specProfile, which returns a copy; Params holds no
+// reference types, so the copy is deep.
 var specProfiles = map[string]Params{
 	// gcc: moderate footprint, irregular but not hostile locality.
 	"gcc": {FootprintBytes: 8 << 20, WriteFrac: 0.40, SeqFrac: 0.50, ComputePerOp: 24},
@@ -43,10 +49,19 @@ func SPECNames() []string {
 	return names
 }
 
-// SPEC builds the synthetic trace for the named benchmark, scaled to the
-// given footprint cap and trace length.
-func SPEC(name string, maxFootprint uint64, ops int, seed int64) (Generator, error) {
+// specProfile is the copy-on-read accessor for the profile table: callers
+// get a private Params value they may mutate freely, keeping the shared
+// map safe for concurrent readers.
+func specProfile(name string) (Params, bool) {
 	p, ok := specProfiles[name]
+	return p, ok
+}
+
+// SPEC builds the synthetic trace for the named benchmark, scaled to the
+// given footprint cap and trace length. Safe for concurrent use: the
+// profile table is read-only after init.
+func SPEC(name string, maxFootprint uint64, ops int, seed int64) (Generator, error) {
+	p, ok := specProfile(name)
 	if !ok {
 		return nil, fmt.Errorf("trace: unknown SPEC benchmark %q (have %v)", name, SPECNames())
 	}

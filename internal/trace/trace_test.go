@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sync"
 	"testing"
 
 	"thynvm/internal/mem"
@@ -192,4 +193,30 @@ func TestBaseOffsetsAddresses(t *testing.T) {
 			t.Fatalf("addr %#x outside based range", op.Addr)
 		}
 	}
+}
+
+// TestSPECConcurrent verifies the race-freedom contract of the SPEC
+// profile table: concurrent SPEC construction and trace generation (as the
+// parallel experiment harness does) must not race — the shared map is
+// copy-on-read and never written after init. Run under -race.
+func TestSPECConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		seed := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, name := range SPECNames() {
+				g, err := SPEC(name, 1<<20, 200, seed)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := len(drain(g)); n != 200 {
+					t.Errorf("%s: drained %d ops", name, n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,151 @@
+package thynvm_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"thynvm"
+	"thynvm/internal/obs"
+)
+
+// microOutputs renders every consumer-visible form of the micro sweep:
+// both figure tables and the machine-readable bench JSON.
+func microOutputs(t *testing.T, sc thynvm.Scale) (fig7, fig8 string, js []byte) {
+	t.Helper()
+	mr, err := thynvm.RunMicro(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err = mr.BenchJSON("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mr.Fig7().String(), mr.Fig8().String(), js
+}
+
+// TestParallelMatchesSequential is the determinism contract of the
+// parallel harness: for every sweep shape, tables and exported JSON must
+// be byte-identical whether the cells run sequentially (Parallel=1) or
+// fanned across 8 workers. Run under -race in CI, this doubles as the
+// shared-state leak detector for concurrent simulations.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := thynvm.ScaleSmall()
+	seq.Parallel = 1
+	par := thynvm.ScaleSmall()
+	par.Parallel = 8
+
+	f7s, f8s, jsS := microOutputs(t, seq)
+	f7p, f8p, jsP := microOutputs(t, par)
+	if f7s != f7p {
+		t.Errorf("Fig7 differs:\nsequential:\n%s\nparallel:\n%s", f7s, f7p)
+	}
+	if f8s != f8p {
+		t.Errorf("Fig8 differs:\nsequential:\n%s\nparallel:\n%s", f8s, f8p)
+	}
+	if !bytes.Equal(jsS, jsP) {
+		t.Errorf("bench JSON differs:\nsequential:\n%s\nparallel:\n%s", jsS, jsP)
+	}
+}
+
+// TestParallelMatchesSequentialKV covers the storage sweep (nested
+// store x size x system grid) at reduced scale.
+func TestParallelMatchesSequentialKV(t *testing.T) {
+	run := func(parallel int) (string, string) {
+		sc := tinyScale()
+		sc.Parallel = parallel
+		kr, err := thynvm.RunKV(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kr.Fig9().String(), kr.Fig10().String()
+	}
+	f9s, f10s := run(1)
+	f9p, f10p := run(8)
+	if f9s != f9p {
+		t.Errorf("Fig9 differs:\nsequential:\n%s\nparallel:\n%s", f9s, f9p)
+	}
+	if f10s != f10p {
+		t.Errorf("Fig10 differs:\nsequential:\n%s\nparallel:\n%s", f10s, f10p)
+	}
+}
+
+// TestParallelMatchesSequentialTables covers the remaining pooled sweeps
+// (Table 1 ablation, Figure 11/12, epoch sweep, recovery latency) in one
+// pass each.
+func TestParallelMatchesSequentialTables(t *testing.T) {
+	for _, e := range []struct {
+		name string
+		f    func(thynvm.Scale) (*thynvm.Table, error)
+	}{
+		{"table1", thynvm.RunTable1},
+		{"fig11", thynvm.RunFig11},
+		{"fig12", thynvm.RunFig12},
+		{"epochs", func(sc thynvm.Scale) (*thynvm.Table, error) { return thynvm.RunEpochSweep(sc, nil) }},
+		{"recovery", thynvm.RunRecoveryLatency},
+	} {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			seq := tinyScale()
+			seq.Parallel = 1
+			ts, err := e.f(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := tinyScale()
+			par.Parallel = 8
+			tp, err := e.f(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts.String() != tp.String() {
+				t.Errorf("output differs:\nsequential:\n%s\nparallel:\n%s", ts, tp)
+			}
+		})
+	}
+}
+
+// collectorRun executes one seeded workload with its own collector and
+// returns the exported telemetry.
+func collectorRun(t *testing.T, seed int64) (jsonl, metrics []byte) {
+	t.Helper()
+	sys := thynvm.MustNewSystem(thynvm.SystemThyNVM, smallOpts())
+	col := obs.NewCollector()
+	sys.SetRecorder(col)
+	sys.Run(thynvm.RandomWorkload(1<<20, 3000, seed))
+	sys.Drain()
+	var a, b bytes.Buffer
+	if err := col.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes()
+}
+
+// TestConcurrentSimsSeparateCollectors runs two different-seed simulations
+// concurrently, each with its own obs.Collector, and checks both against
+// sequential reference runs: telemetry must never cross runs, and (under
+// -race) the two machines must share no mutable state.
+func TestConcurrentSimsSeparateCollectors(t *testing.T) {
+	refJ1, refM1 := collectorRun(t, 7)
+	refJ2, refM2 := collectorRun(t, 1234)
+
+	var j1, m1, j2, m2 []byte
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); j1, m1 = collectorRun(t, 7) }()
+	go func() { defer wg.Done(); j2, m2 = collectorRun(t, 1234) }()
+	wg.Wait()
+
+	if !bytes.Equal(j1, refJ1) || !bytes.Equal(m1, refM1) {
+		t.Error("seed 7: concurrent telemetry differs from sequential reference")
+	}
+	if !bytes.Equal(j2, refJ2) || !bytes.Equal(m2, refM2) {
+		t.Error("seed 1234: concurrent telemetry differs from sequential reference")
+	}
+	if bytes.Equal(j1, j2) {
+		t.Error("different seeds produced identical event logs (collectors crossed?)")
+	}
+}

@@ -1,0 +1,51 @@
+GO      ?= go
+PKGS    := ./...
+# Packages with hot-path micro-benchmarks.
+BENCHPKGS := ./internal/radix ./internal/mem ./internal/cache ./internal/core
+BENCHTIME ?= 2s
+BENCHDIR  := bench
+
+.PHONY: all build test race vet bench bench-baseline bench-cmp bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+# Run the hot-path benchmarks and save the result for comparison.
+bench:
+	@mkdir -p $(BENCHDIR)
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) $(BENCHPKGS) | tee $(BENCHDIR)/new.txt
+
+# Capture a baseline (run this on the commit you want to compare against).
+bench-baseline:
+	@mkdir -p $(BENCHDIR)
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) $(BENCHPKGS) | tee $(BENCHDIR)/old.txt
+
+# Compare baseline vs current. Uses benchstat when installed
+# (go install golang.org/x/perf/cmd/benchstat@latest); falls back to a
+# side-by-side diff so the flow works in hermetic environments.
+bench-cmp:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCHDIR)/old.txt $(BENCHDIR)/new.txt; \
+	else \
+		echo "benchstat not installed; raw comparison:"; \
+		diff -y --width=160 $(BENCHDIR)/old.txt $(BENCHDIR)/new.txt || true; \
+	fi
+
+# One-iteration run of every benchmark: catches bit-rot in CI without
+# spending benchmark time.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x $(BENCHPKGS)
+
+clean:
+	rm -rf $(BENCHDIR)

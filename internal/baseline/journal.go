@@ -2,11 +2,11 @@ package baseline
 
 import (
 	"encoding/binary"
-	"sort"
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
+	"thynvm/internal/radix"
 )
 
 // Journal is the paper's journaling baseline (§5.1): a redo journal for a
@@ -20,7 +20,7 @@ type Journal struct {
 	nvm  *mem.Device
 	dram *mem.Device
 
-	dirty     map[uint64]uint64 // physical block index -> DRAM slot address
+	dirty     radix.Table[uint64] // physical block index -> DRAM slot address
 	dramBump  uint64
 	freeSlots []uint64
 
@@ -43,10 +43,9 @@ func NewJournal(cfg Config) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{
-		cfg:   cfg,
-		nvm:   mem.NewDevice(cfg.NVM),
-		dram:  mem.NewDevice(cfg.DRAM),
-		dirty: make(map[uint64]uint64),
+		cfg:  cfg,
+		nvm:  mem.NewDevice(cfg.NVM),
+		dram: mem.NewDevice(cfg.DRAM),
 	}
 	j.headerAddr[0] = cfg.PhysBytes
 	j.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
@@ -76,7 +75,7 @@ func (j *Journal) allocSlot() uint64 {
 func (j *Journal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	checkAccess(j.cfg.PhysBytes, addr, len(buf))
 	var done mem.Cycle
-	if slot, ok := j.dirty[mem.BlockIndex(addr)]; ok {
+	if slot, ok := j.dirty.Get(mem.BlockIndex(addr)); ok {
 		done = j.dram.Read(now, slot, buf)
 	} else {
 		done = j.nvm.Read(now, addr, buf)
@@ -91,11 +90,11 @@ func (j *Journal) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 func (j *Journal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	checkAccess(j.cfg.PhysBytes, addr, len(data))
 	idx := mem.BlockIndex(addr)
-	slot, ok := j.dirty[idx]
+	slot, ok := j.dirty.Get(idx)
 	if !ok {
 		slot = j.allocSlot()
-		j.dirty[idx] = slot
-		if len(j.dirty) >= j.cfg.JournalEntries {
+		j.dirty.Set(idx, slot)
+		if j.dirty.Len() >= j.cfg.JournalEntries {
 			j.overflow = true
 		}
 	}
@@ -114,7 +113,7 @@ func (j *Journal) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 	if now < j.epochSt || now-j.epochSt < j.cfg.EpochLen {
 		return false
 	}
-	if len(j.dirty) == 0 && !cpuDirty {
+	if j.dirty.Len() == 0 && !cpuDirty {
 		j.epochSt = now
 		return false
 	}
@@ -129,7 +128,7 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	epoch := j.stats.Epochs
 	epochStart := j.epochSt
 	forced := j.overflow
-	dirtyBlocks := uint64(len(j.dirty))
+	dirtyBlocks := uint64(j.dirty.Len())
 	if j.tele.On() {
 		rec := j.tele.Rec()
 		rec.Event(uint64(now), obs.EvEpochEnd, epoch, 0)
@@ -139,12 +138,8 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
 	}
 	// Serialize the redo journal: CPU state + (block, data) records, in
-	// deterministic block order.
-	idxs := make([]uint64, 0, len(j.dirty))
-	for idx := range j.dirty {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	// deterministic block order (the table scans in ascending key order).
+	idxs := j.dirty.Keys()
 
 	blob := make([]byte, 0, 16+len(cpuState)+len(idxs)*(8+mem.BlockSize))
 	var u64 [8]byte
@@ -158,7 +153,8 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	var blockBuf [mem.BlockSize]byte
 	rdMax := now
 	for _, idx := range idxs {
-		rd := j.dram.Read(now, j.dirty[idx], blockBuf[:])
+		slot, _ := j.dirty.Get(idx)
+		rd := j.dram.Read(now, slot, blockBuf[:])
 		if rd > rdMax {
 			rdMax = rd
 		}
@@ -189,9 +185,10 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 			applyDone = d
 		}
 		off += 8 + mem.BlockSize
-		j.freeSlots = append(j.freeSlots, j.dirty[idx])
+		slot, _ := j.dirty.Get(idx)
+		j.freeSlots = append(j.freeSlots, slot)
 	}
-	j.dirty = make(map[uint64]uint64)
+	j.dirty.Reset()
 	j.overflow = false
 
 	// Stop-the-world: execution resumes when everything is durable.
@@ -225,7 +222,7 @@ func (j *Journal) DrainCheckpoint(now mem.Cycle) mem.Cycle { return now }
 func (j *Journal) Crash(at mem.Cycle) {
 	j.nvm.Crash(at)
 	j.dram.Crash(at)
-	j.dirty = make(map[uint64]uint64)
+	j.dirty.Reset()
 	j.freeSlots = nil
 	j.dramBump = 0
 	j.overflow = false
@@ -266,7 +263,7 @@ func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 
 // PeekBlock implements ctl.Controller.
 func (j *Journal) PeekBlock(addr uint64, buf []byte) {
-	if slot, ok := j.dirty[mem.BlockIndex(addr)]; ok {
+	if slot, ok := j.dirty.Get(mem.BlockIndex(addr)); ok {
 		j.dram.Peek(slot, buf)
 		return
 	}
@@ -278,8 +275,8 @@ func (j *Journal) Stats() ctl.Stats {
 	st := j.stats
 	st.NVM = j.nvm.Stats()
 	st.DRAM = j.dram.Stats()
-	if uint64(len(j.dirty)) > st.PeakBTTLive {
-		st.PeakBTTLive = uint64(len(j.dirty))
+	if uint64(j.dirty.Len()) > st.PeakBTTLive {
+		st.PeakBTTLive = uint64(j.dirty.Len())
 	}
 	return st
 }

@@ -2,11 +2,11 @@ package baseline
 
 import (
 	"encoding/binary"
-	"sort"
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
+	"thynvm/internal/radix"
 )
 
 // Shadow is the paper's shadow-paging baseline (§5.1): copy-on-write at
@@ -22,7 +22,7 @@ type Shadow struct {
 	nvm  *mem.Device
 	dram *mem.Device
 
-	pages    map[uint64]*shadowPage
+	pages    radix.Table[*shadowPage]
 	dramBump uint64
 	freeDRAM []uint64
 
@@ -56,10 +56,9 @@ func NewShadow(cfg Config) (*Shadow, error) {
 		return nil, err
 	}
 	s := &Shadow{
-		cfg:   cfg,
-		nvm:   mem.NewDevice(cfg.NVM),
-		dram:  mem.NewDevice(cfg.DRAM),
-		pages: make(map[uint64]*shadowPage),
+		cfg:  cfg,
+		nvm:  mem.NewDevice(cfg.NVM),
+		dram: mem.NewDevice(cfg.DRAM),
 	}
 	s.headerAddr[0] = cfg.PhysBytes
 	s.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
@@ -94,11 +93,11 @@ func (s *Shadow) allocShadowSlot() uint64 {
 }
 
 func (s *Shadow) sortedPages() []*shadowPage {
-	out := make([]*shadowPage, 0, len(s.pages))
-	for _, p := range s.pages {
+	out := make([]*shadowPage, 0, s.pages.Len())
+	s.pages.Scan(func(_ uint64, p *shadowPage) bool {
 		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+		return true
+	})
 	return out
 }
 
@@ -109,9 +108,9 @@ func (s *Shadow) ReadBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	pageIdx := mem.PageIndex(addr)
 	off := addr % mem.PageSize
 	var done mem.Cycle
-	if p, ok := s.pages[pageIdx]; ok && p.dramAddr != noSlot {
+	if p, ok := s.pages.Get(pageIdx); ok && p.dramAddr != noSlot {
 		done = s.dram.Read(now, p.dramAddr+off, buf)
-	} else if p, ok := s.pages[pageIdx]; ok {
+	} else if p, ok := s.pages.Get(pageIdx); ok {
 		done = s.nvm.Read(now, p.committed+off, buf)
 	} else {
 		done = s.nvm.Read(now, addr, buf)
@@ -129,7 +128,7 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	checkAccess(s.cfg.PhysBytes, addr, len(data))
 	pageIdx := mem.PageIndex(addr)
 	off := addr % mem.PageSize
-	p, ok := s.pages[pageIdx]
+	p, ok := s.pages.Get(pageIdx)
 	if !ok {
 		p = &shadowPage{
 			phys:      pageIdx,
@@ -139,7 +138,7 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 			shadowA:   s.allocShadowSlot(),
 			shadowB:   s.allocShadowSlot(),
 		}
-		s.pages[pageIdx] = p
+		s.pages.Set(pageIdx, p)
 	}
 	if p.dramAddr == noSlot {
 		// Copy-on-write: bring the committed page into DRAM before the
@@ -166,8 +165,8 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 		p.dramAddr = slot
 	}
 	p.dirty = true
-	if uint64(len(s.pages)) > s.stats.PeakPTTLive {
-		s.stats.PeakPTTLive = uint64(len(s.pages))
+	if uint64(s.pages.Len()) > s.stats.PeakPTTLive {
+		s.stats.PeakPTTLive = uint64(s.pages.Len())
 	}
 	if s.dramBump/mem.PageSize >= uint64(s.cfg.DRAMPages) && len(s.freeDRAM) == 0 {
 		s.overflow = true // ask for an epoch-boundary flush before we force one
@@ -213,7 +212,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		p.dirty = false
 	}
 	// Commit the page table.
-	blob := make([]byte, 0, 16+len(cpuState)+len(s.pages)*16)
+	blob := make([]byte, 0, 16+len(cpuState)+s.pages.Len()*16)
 	var u64 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u64[:], v)
@@ -284,10 +283,13 @@ func (s *Shadow) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 	if cpuDirty {
 		return true
 	}
-	for _, p := range s.pages {
-		if p.dirty {
-			return true
-		}
+	anyDirty := false
+	s.pages.Scan(func(_ uint64, p *shadowPage) bool {
+		anyDirty = p.dirty
+		return !anyDirty
+	})
+	if anyDirty {
+		return true
 	}
 	s.epochSt = now
 	return false
@@ -299,11 +301,12 @@ func (s *Shadow) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	epochStart := s.epochSt
 	var dirtyPages uint64
 	if s.tele.On() {
-		for _, p := range s.pages {
+		s.pages.Scan(func(_ uint64, p *shadowPage) bool {
 			if p.dirty && p.dramAddr != noSlot {
 				dirtyPages++
 			}
-		}
+			return true
+		})
 		s.tele.Rec().Event(uint64(now), obs.EvEpochEnd, epoch, 0)
 	}
 	s.lastCPU = append([]byte(nil), cpuState...)
@@ -317,7 +320,7 @@ func (s *Shadow) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 			Start:      epochStart,
 			End:        now,
 			DirtyPages: dirtyPages,
-			PTTLive:    uint64(len(s.pages)),
+			PTTLive:    uint64(s.pages.Len()),
 		}, s.Stats())
 	}
 	return done
@@ -330,7 +333,7 @@ func (s *Shadow) DrainCheckpoint(now mem.Cycle) mem.Cycle { return now }
 func (s *Shadow) Crash(at mem.Cycle) {
 	s.nvm.Crash(at)
 	s.dram.Crash(at)
-	s.pages = make(map[uint64]*shadowPage)
+	s.pages.Reset()
 	s.freeDRAM = nil
 	s.dramBump = 0
 	s.lastCPU = nil
@@ -379,7 +382,7 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 func (s *Shadow) PeekBlock(addr uint64, buf []byte) {
 	pageIdx := mem.PageIndex(addr)
 	off := addr % mem.PageSize
-	if p, ok := s.pages[pageIdx]; ok {
+	if p, ok := s.pages.Get(pageIdx); ok {
 		if p.dramAddr != noSlot {
 			s.dram.Peek(p.dramAddr+off, buf)
 			return

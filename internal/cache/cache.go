@@ -122,6 +122,11 @@ type Hierarchy struct {
 	back   Backend
 	tick   uint64
 	dirty  int // dirty lines across all levels, maintained incrementally
+
+	// scratch is the block staging buffer for Read/Write. The hierarchy is
+	// single-threaded and backend calls never reenter it, so one buffer
+	// keeps the access path allocation-free.
+	scratch [mem.BlockSize]byte
 }
 
 // NewHierarchy builds a hierarchy with the given level specs (outermost
@@ -243,14 +248,13 @@ func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	if err := checkRange(addr, len(buf)); err != nil {
 		panic(err)
 	}
+	blk := h.scratch[:]
 	if len(h.levels) == 0 {
-		blk := make([]byte, mem.BlockSize)
 		done := h.back.ReadBlock(now, mem.BlockAlign(addr), blk)
 		copy(buf, blk[addr-mem.BlockAlign(addr):])
 		return done
 	}
 	block := mem.BlockIndex(addr)
-	blk := make([]byte, mem.BlockSize)
 	done := h.fetch(now, 0, block, blk)
 	copy(buf, blk[addr%mem.BlockSize:])
 	return done
@@ -265,7 +269,7 @@ func (h *Hierarchy) Write(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	if len(h.levels) == 0 {
 		// No caches: read-modify-write the block directly in memory.
 		base := mem.BlockAlign(addr)
-		blk := make([]byte, mem.BlockSize)
+		blk := h.scratch[:]
 		done := h.back.ReadBlock(now, base, blk)
 		copy(blk[addr-base:], data)
 		return h.back.WriteBlock(done, base, blk)
@@ -277,7 +281,7 @@ func (h *Hierarchy) Write(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	if ln == nil {
 		// Write-allocate: fetch the block, then modify in L1.
 		l1.stats.Misses++
-		blk := make([]byte, mem.BlockSize)
+		blk := h.scratch[:]
 		done := h.fetch(now, 1, block, blk)
 		h.install(done, 0, block, blk, false)
 		ln = l1.lookup(block)

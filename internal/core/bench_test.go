@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"thynvm/internal/mem"
+)
+
+// Controller-access micro-benchmarks: the BTT/PTT lookup plus device model
+// on every simulated memory access is the single-simulation hot path.
+// Checkpoints run at their due epochs so the tables hold a realistic mix
+// of live, ckpting, and decaying entries.
+
+func benchController(b *testing.B, footprint uint64) *Controller {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.EpochLen = mem.FromNs(100_000) // 100 us: several checkpoints per run
+	if footprint > cfg.PhysBytes {
+		cfg.PhysBytes = footprint
+	}
+	return MustNew(cfg)
+}
+
+// pollCkpt drives the epoch machinery the way sim.Machine does.
+func pollCkpt(c *Controller, now mem.Cycle, state []byte) mem.Cycle {
+	if c.CheckpointDue(now, false) {
+		return c.BeginCheckpoint(now, state)
+	}
+	return now
+}
+
+// BenchmarkControllerAccessWriteSeq streams sequential block writes (dense
+// pages: the page-writeback scheme's favorite case).
+func BenchmarkControllerAccessWriteSeq(b *testing.B) {
+	const span = uint64(16 << 20)
+	c := benchController(b, span)
+	var buf [mem.BlockSize]byte
+	state := []byte("cpu")
+	now := mem.Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * mem.BlockSize % span
+		now = c.WriteBlock(now, addr, buf[:])
+		if i&1023 == 0 {
+			now = pollCkpt(c, now, state)
+		}
+	}
+}
+
+// BenchmarkControllerAccessWriteRand scatters block writes (sparse pages:
+// the block-remapping scheme's case, maximum BTT pressure).
+func BenchmarkControllerAccessWriteRand(b *testing.B) {
+	const span = uint64(16 << 20)
+	c := benchController(b, span)
+	var buf [mem.BlockSize]byte
+	state := []byte("cpu")
+	now := mem.Cycle(0)
+	rng := uint64(12345)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		addr := rng % (span / mem.BlockSize) * mem.BlockSize
+		now = c.WriteBlock(now, addr, buf[:])
+		if i&1023 == 0 {
+			now = pollCkpt(c, now, state)
+		}
+	}
+}
+
+// BenchmarkControllerAccessRead re-reads a written region through the
+// translation tables.
+func BenchmarkControllerAccessRead(b *testing.B) {
+	const span = uint64(8 << 20)
+	c := benchController(b, span)
+	var buf [mem.BlockSize]byte
+	state := []byte("cpu")
+	now := mem.Cycle(0)
+	for a := uint64(0); a < span; a += mem.BlockSize {
+		now = c.WriteBlock(now, a, buf[:])
+		if a&(1<<16-1) == 0 {
+			now = pollCkpt(c, now, state)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * 37 * mem.BlockSize % span
+		now = c.ReadBlock(now, addr, buf[:])
+	}
+}
+
+// BenchmarkControllerAccessMixed interleaves reads and writes 2:1 with
+// periodic checkpoints — the closest micro-proxy for a full simulation.
+func BenchmarkControllerAccessMixed(b *testing.B) {
+	const span = uint64(16 << 20)
+	c := benchController(b, span)
+	var buf [mem.BlockSize]byte
+	state := []byte("cpu")
+	now := mem.Cycle(0)
+	rng := uint64(99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		addr := rng % (span / mem.BlockSize) * mem.BlockSize
+		if i%3 == 0 {
+			now = c.WriteBlock(now, addr, buf[:])
+		} else {
+			now = c.ReadBlock(now, addr, buf[:])
+		}
+		if i&1023 == 0 {
+			now = pollCkpt(c, now, state)
+		}
+	}
+}

@@ -1,11 +1,10 @@
 package core
 
 import (
-	"sort"
-
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
+	"thynvm/internal/radix"
 )
 
 // CheckpointDue implements ctl.Controller: the epoch timer has expired or a
@@ -31,17 +30,19 @@ func (c *Controller) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
 
 // hasWork reports whether a checkpoint would have anything to do.
 func (c *Controller) hasWork() bool {
-	for _, e := range c.blocks {
-		if e.active != activeNone || e.dying || e.overlay {
-			return true
-		}
+	work := false
+	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
+		work = e.active != activeNone || e.dying || e.overlay
+		return !work
+	})
+	if work {
+		return true
 	}
-	for _, e := range c.pages {
-		if e.dirty || e.dying || e.remapActive {
-			return true
-		}
-	}
-	return false
+	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
+		work = e.dirty || e.dying || e.remapActive
+		return !work
+	})
+	return work
 }
 
 // BeginCheckpoint implements ctl.Controller. The caller has already stalled
@@ -183,9 +184,9 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	c.commitDone = commitDone
 
 	// Reset per-epoch state for the new epoch.
-	for _, e := range c.blocks {
+	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
 		if e.overlay {
-			continue
+			return true
 		}
 		if e.stores > 0 {
 			e.idle = 0
@@ -194,8 +195,9 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		}
 		e.stores = 0
 		e.active = activeNone
-	}
-	for _, e := range c.pages {
+		return true
+	})
+	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
 		e.lastStores = e.stores
 		if e.stores > 0 {
 			e.idle = 0
@@ -205,17 +207,19 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		e.stores = 0
 		e.dirty = false
 		e.remapActive = false
-	}
+		return true
+	})
 	// Migration decisions use the ending epoch's counts; the next epoch
 	// starts from half of them (an EWMA) so that short, pressure-forced
 	// epochs do not undersample page hotness.
 	c.lastPageStores = c.pageStores
-	next := make(map[uint64]uint32, len(c.pageStores))
-	for p, v := range c.pageStores {
+	next := &radix.Table[uint32]{}
+	c.pageStores.Scan(func(p uint64, v uint32) bool {
 		if v >= 2 {
-			next[p] = v / 2
+			next.Set(p, v/2)
 		}
-	}
+		return true
+	})
 	c.pageStores = next
 
 	c.stats.Epochs++
@@ -243,8 +247,8 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 			End:         now,
 			DirtyBlocks: stagedBlocks,
 			DirtyPages:  stagedPages,
-			BTTLive:     uint64(len(c.blocks)),
-			PTTLive:     uint64(len(c.pages)),
+			BTTLive:     uint64(c.blocks.Len()),
+			PTTLive:     uint64(c.pages.Len()),
 			Forced:      forced,
 		}, c.Stats())
 	}
@@ -283,20 +287,22 @@ func (c *Controller) finalize() {
 	at := c.commitDone
 
 	// Rotate versions: staged checkpoints become C_last.
-	for _, e := range c.blocks {
+	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
 		if e.ckpting {
 			e.clastAddr = e.pendingClast
 			e.hasCkpt = true
 			e.ckpting = false
 		}
-	}
-	for _, e := range c.pages {
+		return true
+	})
+	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
 		if e.ckpting {
 			e.clastAddr = e.pendingClast
 			e.hasCkpt = true
 			e.ckpting = false
 		}
-	}
+		return true
+	})
 
 	// Free entries whose consolidation committed with this checkpoint
 	// (in deterministic order: the free lists feed future slot addresses,
@@ -316,19 +322,21 @@ func (c *Controller) finalize() {
 	// the entry leaves the next serialized table and is freed one commit
 	// later (until then the durable header still references its alt slot,
 	// which stays intact).
-	for _, e := range c.blocks {
+	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
 		if e.consolidateDone > 0 && e.consolidateDone <= c.commitDone {
 			e.consolidateDone = 0
 			e.lameDuck = false
 			e.dying = true
 		}
-	}
-	for _, e := range c.pages {
+		return true
+	})
+	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
 		if e.consolidateDone > 0 && e.consolidateDone <= c.commitDone {
 			e.consolidateDone = 0
 			e.dying = true
 		}
-	}
+		return true
+	})
 
 	c.decay(at)
 	if c.cfg.Mode == ModeDual {
@@ -337,9 +345,9 @@ func (c *Controller) finalize() {
 	c.lastPageStores = nil
 
 	// Allocation pressure may have eased.
-	if len(c.blocks) < c.cfg.BTTEntries-c.cfg.WatermarkEntries &&
+	if c.blocks.Len() < c.cfg.BTTEntries-c.cfg.WatermarkEntries &&
 		(c.cfg.Mode == ModeDual || c.cfg.Mode == ModeBlockRemap || c.cfg.Mode == ModeBlockWriteback ||
-			len(c.pages) < c.cfg.PTTEntries-c.cfg.WatermarkEntries/mem.BlocksPerPage-1) {
+			c.pages.Len() < c.cfg.PTTEntries-c.cfg.WatermarkEntries/mem.BlocksPerPage-1) {
 		c.overflowReq = false
 	}
 }
@@ -352,7 +360,7 @@ func (c *Controller) finalize() {
 // entries that belong to the penultimate checkpoint on overflow.
 func (c *Controller) decay(at mem.Cycle) {
 	thresh := uint8(c.cfg.DecayEpochs)
-	if len(c.blocks) > c.cfg.BTTEntries || len(c.pages) > c.cfg.PTTEntries {
+	if c.blocks.Len() > c.cfg.BTTEntries || c.pages.Len() > c.cfg.PTTEntries {
 		thresh = 0
 	}
 	// Consolidation copies are posted on the background port; bound how
@@ -433,23 +441,24 @@ func (c *Controller) migrate(at mem.Cycle) {
 		e.consolidateDone = done
 	}
 
-	// Block remapping -> page writeback for densely written pages.
+	// Block remapping -> page writeback for densely written pages. The
+	// store-count scan is already in ascending page order.
 	var blockBuf [mem.BlockSize]byte
-	hotPages := make([]uint64, 0, len(c.lastPageStores))
-	for pageIdx, count := range c.lastPageStores {
+	hotPages := make([]uint64, 0, c.lastPageStores.Len())
+	c.lastPageStores.Scan(func(pageIdx uint64, count uint32) bool {
 		if int(count) >= c.cfg.SwitchToPage {
 			hotPages = append(hotPages, pageIdx)
 		}
-	}
-	sort.Slice(hotPages, func(i, j int) bool { return hotPages[i] < hotPages[j] })
+		return true
+	})
 	for _, pageIdx := range hotPages {
-		if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+		if pe, ok := c.pages.Get(pageIdx); ok && !pe.dying {
 			continue // already page-managed
 		}
-		if len(c.pages) >= c.cfg.PTTEntries {
+		if c.pages.Len() >= c.cfg.PTTEntries {
 			continue // PTT full; stay with block remapping
 		}
-		if old := c.pages[pageIdx]; old != nil {
+		if _, ok := c.pages.Get(pageIdx); ok {
 			// A dying entry for this page exists (migrating out or
 			// decayed); let that complete before migrating back in.
 			continue
@@ -474,7 +483,7 @@ func (c *Controller) migrate(at mem.Cycle) {
 		for b := 0; b < mem.BlocksPerPage; b++ {
 			addr := base + uint64(b*mem.BlockSize)
 			off := b * mem.BlockSize
-			be := c.blocks[mem.BlockIndex(addr)]
+			be, _ := c.blocks.Get(mem.BlockIndex(addr))
 			if be == nil || be.overlay {
 				rd := c.nvm.ReadBackground(at, addr, blockBuf[:])
 				if rd > rdMax {
@@ -520,7 +529,7 @@ func (c *Controller) migrate(at mem.Cycle) {
 		// longer serve accesses (the page does).
 		for b := 0; b < mem.BlocksPerPage; b++ {
 			addr := base + uint64(b*mem.BlockSize)
-			if be := c.blocks[mem.BlockIndex(addr)]; be != nil && !be.overlay && !be.dying {
+			if be, ok := c.blocks.Get(mem.BlockIndex(addr)); ok && !be.overlay && !be.dying {
 				be.lameDuck = true
 				be.active = activeNone
 				be.consolidateDone = done

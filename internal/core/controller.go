@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/radix"
 )
 
 // Controller is the ThyNVM memory controller: it owns the DRAM and NVM
@@ -16,8 +16,13 @@ type Controller struct {
 	nvm  *mem.Device
 	dram *mem.Device
 
-	blocks map[uint64]*blockEntry // BTT, keyed by physical block index
-	pages  map[uint64]*pageEntry  // PTT, keyed by physical page index
+	// The BTT and PTT are radix tables rather than maps: a translation
+	// lookup happens on every simulated memory access, and the physical
+	// index space is dense, so the page-table-style layout (with its MRU
+	// leaf memo) beats hashing — and its ascending Scan replaces the
+	// collect-and-sort passes checkpointing used for determinism.
+	blocks radix.Table[*blockEntry] // BTT, keyed by physical block index
+	pages  radix.Table[*pageEntry]  // PTT, keyed by physical page index
 
 	// NVM hardware-address-space allocation beyond the Home region:
 	// two fixed 64 B header slots, then bump-allocated checkpoint slots
@@ -47,8 +52,8 @@ type Controller struct {
 	homeCopyMaxDone  mem.Cycle // migration image writes the next header must follow
 	execWriteMaxDone mem.Cycle // completion of exec-phase NVM working-copy writes
 
-	pageStores     map[uint64]uint32 // per-page store counts, current epoch
-	lastPageStores map[uint64]uint32 // counts from the epoch being checkpointed
+	pageStores     *radix.Table[uint32] // per-page store counts, current epoch
+	lastPageStores *radix.Table[uint32] // counts from the epoch being checkpointed
 
 	stats ctl.Stats
 	tele  ctl.EpochSampler
@@ -65,9 +70,7 @@ func New(cfg Config) (*Controller, error) {
 		cfg:        cfg,
 		nvm:        mem.NewDevice(cfg.NVM),
 		dram:       mem.NewDevice(cfg.DRAM),
-		blocks:     make(map[uint64]*blockEntry),
-		pages:      make(map[uint64]*pageEntry),
-		pageStores: make(map[uint64]uint32),
+		pageStores: &radix.Table[uint32]{},
 	}
 	c.headerAddr[0] = cfg.PhysBytes
 	c.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
@@ -162,7 +165,7 @@ func (c *Controller) allocBlockEntry(blockIdx uint64) *blockEntry {
 		altAddr:   c.allocNVMBlockSlot(),
 		clastAddr: blockIdx * mem.BlockSize,
 	}
-	c.blocks[blockIdx] = e
+	c.blocks.Set(blockIdx, e)
 	c.noteBTTPressure()
 	return e
 }
@@ -175,13 +178,13 @@ func (c *Controller) allocOverlayEntry(blockIdx, pageIdx uint64) *blockEntry {
 		overlay:     true,
 		overlayPage: pageIdx,
 	}
-	c.blocks[blockIdx] = e
+	c.blocks.Set(blockIdx, e)
 	c.noteBTTPressure()
 	return e
 }
 
 func (c *Controller) noteBTTPressure() {
-	live := len(c.blocks)
+	live := c.blocks.Len()
 	if uint64(live) > c.stats.PeakBTTLive {
 		c.stats.PeakBTTLive = uint64(live)
 	}
@@ -202,8 +205,8 @@ func (c *Controller) allocPageEntry(pageIdx uint64) *pageEntry {
 		dramAddr:  c.allocDRAMPageSlot(),
 		clastAddr: pageIdx * mem.PageSize,
 	}
-	c.pages[pageIdx] = e
-	live := len(c.pages)
+	c.pages.Set(pageIdx, e)
+	live := c.pages.Len()
 	if uint64(live) > c.stats.PeakPTTLive {
 		c.stats.PeakPTTLive = uint64(live)
 	}
@@ -221,7 +224,7 @@ func (c *Controller) allocPageEntry(pageIdx uint64) *pageEntry {
 }
 
 func (c *Controller) freeBlockEntry(e *blockEntry) {
-	delete(c.blocks, e.phys)
+	c.blocks.Delete(e.phys)
 	if e.altAddr != 0 {
 		c.freeBlockSlots = append(c.freeBlockSlots, e.altAddr)
 	}
@@ -231,7 +234,7 @@ func (c *Controller) freeBlockEntry(e *blockEntry) {
 }
 
 func (c *Controller) freePageEntry(e *pageEntry) {
-	delete(c.pages, e.phys)
+	c.pages.Delete(e.phys)
 	if e.altAddr != 0 {
 		c.freePageSlots = append(c.freePageSlots, e.altAddr)
 	}
@@ -250,7 +253,7 @@ func (c *Controller) freePageEntry(e *pageEntry) {
 // occasional cache misses into that structure.
 func (c *Controller) lookupLatency() mem.Cycle {
 	lat := mem.TableLookup
-	if len(c.blocks) > c.cfg.BTTEntries || len(c.pages) > c.cfg.PTTEntries {
+	if c.blocks.Len() > c.cfg.BTTEntries || c.pages.Len() > c.cfg.PTTEntries {
 		lat += mem.FromNs(4)
 	}
 	return lat
@@ -280,14 +283,14 @@ func (c *Controller) readBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle
 	c.sync(now)
 	now += c.lookupLatency()
 	pageIdx := mem.PageIndex(addr)
-	if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+	if pe, ok := c.pages.Get(pageIdx); ok && !pe.dying {
 		if c.cfg.Mode == ModePageRemap {
 			off := addr - pe.homeAddr
 			return c.nvm.Read(now, pe.visibleNVMAddr()+off, buf)
 		}
 		return c.dram.Read(now, pe.dramAddr+(addr-pe.homeAddr), buf)
 	}
-	if be := c.blocks[mem.BlockIndex(addr)]; be != nil {
+	if be, ok := c.blocks.Get(mem.BlockIndex(addr)); ok {
 		switch {
 		case be.overlay || be.dying || be.lameDuck:
 			// Consolidated to Home (the copy, if still in flight, is
@@ -309,20 +312,20 @@ func (c *Controller) writeBlock(now mem.Cycle, addr uint64, data []byte) mem.Cyc
 	now += c.lookupLatency()
 	pageIdx := mem.PageIndex(addr)
 	if c.cfg.Mode == ModeDual {
-		c.pageStores[pageIdx]++
+		(*c.pageStores.Ref(pageIdx))++
 	}
 
 	switch c.cfg.Mode {
 	case ModePageWriteback:
-		pe := c.pages[pageIdx]
-		if pe == nil || pe.dying {
+		pe, ok := c.pages.Get(pageIdx)
+		if !ok || pe.dying {
 			pe, now = c.demandLoadPage(now, pageIdx)
 		}
 		return c.writeViaPage(now, pe, addr, data)
 	case ModePageRemap:
 		return c.writePageRemap(now, pageIdx, addr, data)
 	case ModeDual:
-		if pe := c.pages[pageIdx]; pe != nil && !pe.dying {
+		if pe, ok := c.pages.Get(pageIdx); ok && !pe.dying {
 			return c.writeViaPage(now, pe, addr, data)
 		}
 		return c.writeViaBlock(now, addr, data)
@@ -335,7 +338,7 @@ func (c *Controller) writeBlock(now mem.Cycle, addr uint64, data []byte) mem.Cyc
 // from the page's currently visible NVM image (uniform page-writeback mode
 // caches every touched page in DRAM).
 func (c *Controller) demandLoadPage(now mem.Cycle, pageIdx uint64) (*pageEntry, mem.Cycle) {
-	if old := c.pages[pageIdx]; old != nil {
+	if old, ok := c.pages.Get(pageIdx); ok {
 		// A dying entry still holds the committed image in its DRAM slot;
 		// revive it. If the commit excluding it is still draining, Home
 		// becomes its authoritative location and the next writeback must
@@ -371,7 +374,7 @@ func (c *Controller) writeViaPage(now mem.Cycle, pe *pageEntry, addr uint64, dat
 			// BeginCheckpoint, so the in-flight writeback is unaffected.)
 			c.stats.BufferedBlockWrites++
 			blockIdx := mem.BlockIndex(addr)
-			if be := c.blocks[blockIdx]; be == nil {
+			if _, ok := c.blocks.Get(blockIdx); !ok {
 				c.allocOverlayEntry(blockIdx, pe.phys)
 			}
 			pe.dirty = true
@@ -390,7 +393,7 @@ func (c *Controller) writeViaPage(now mem.Cycle, pe *pageEntry, addr uint64, dat
 // writeViaBlock services a store through the block remapping scheme.
 func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	blockIdx := mem.BlockIndex(addr)
-	be := c.blocks[blockIdx]
+	be, _ := c.blocks.Get(blockIdx)
 	if be == nil {
 		// Hard table bound (2x the nominal capacity — the virtualized-
 		// table slack): when even the virtualized BTT is full, the store
@@ -398,7 +401,7 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 		// entries free up. This is the paper's overflow behavior: under
 		// sustained pressure execution throttles to the consolidation
 		// pipeline instead of growing metadata without bound.
-		for len(c.blocks) >= 2*c.cfg.BTTEntries && c.ckptInFlight {
+		for c.blocks.Len() >= 2*c.cfg.BTTEntries && c.ckptInFlight {
 			if c.commitDone > now {
 				c.stats.CkptStall += c.commitDone - now
 				now = c.commitDone
@@ -486,7 +489,7 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 // page-granularity remapping in NVM. The first store to a page each epoch
 // pays a blocking whole-page copy to the new working location.
 func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, data []byte) mem.Cycle {
-	pe := c.pages[pageIdx]
+	pe, _ := c.pages.Get(pageIdx)
 	revived := false
 	if pe == nil {
 		pe = c.allocPageEntry(pageIdx)
@@ -537,7 +540,7 @@ func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, 
 // PeekBlock implements ctl.Controller: untimed read of the software-visible
 // version.
 func (c *Controller) PeekBlock(addr uint64, buf []byte) {
-	if pe := c.pages[mem.PageIndex(addr)]; pe != nil && !pe.dying {
+	if pe, ok := c.pages.Get(mem.PageIndex(addr)); ok && !pe.dying {
 		off := addr - pe.homeAddr
 		if c.cfg.Mode == ModePageRemap {
 			c.nvm.Peek(pe.visibleNVMAddr()+off, buf)
@@ -546,7 +549,7 @@ func (c *Controller) PeekBlock(addr uint64, buf []byte) {
 		c.dram.Peek(pe.dramAddr+off, buf)
 		return
 	}
-	if be := c.blocks[mem.BlockIndex(addr)]; be != nil {
+	if be, ok := c.blocks.Get(mem.BlockIndex(addr)); ok {
 		switch {
 		case be.overlay || be.dying || be.lameDuck:
 			c.nvm.Peek(be.homeAddr, buf)
@@ -579,7 +582,7 @@ func (c *Controller) ResetStats() {
 
 // LiveEntries reports current BTT and PTT occupancy (tests, reports).
 func (c *Controller) LiveEntries() (btt, ptt int) {
-	return len(c.blocks), len(c.pages)
+	return c.blocks.Len(), c.pages.Len()
 }
 
 // CommitAt reports whether a checkpoint is draining and the cycle at which
@@ -591,21 +594,23 @@ func (c *Controller) CommitAt() (inFlight bool, at mem.Cycle) {
 // sortedBlocks and sortedPages return table entries in physical-index order.
 // Checkpointing, decay and migration iterate in this order so that device
 // scheduling — and therefore commit timing — is deterministic for a given
-// schedule (Go map iteration order is randomized).
+// schedule. The radix tables scan in ascending key order by construction,
+// so this is a straight collect with no sort. The returned slice is a
+// snapshot: callers may insert or delete entries while walking it.
 func (c *Controller) sortedBlocks() []*blockEntry {
-	out := make([]*blockEntry, 0, len(c.blocks))
-	for _, e := range c.blocks {
+	out := make([]*blockEntry, 0, c.blocks.Len())
+	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
 		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+		return true
+	})
 	return out
 }
 
 func (c *Controller) sortedPages() []*pageEntry {
-	out := make([]*pageEntry, 0, len(c.pages))
-	for _, e := range c.pages {
+	out := make([]*pageEntry, 0, c.pages.Len())
+	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
 		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].phys < out[j].phys })
+		return true
+	})
 	return out
 }

@@ -201,7 +201,7 @@ func TestWritesDuringDrainAreBuffered(t *testing.T) {
 	if c.Stats().BufferedBlockWrites != before+1 {
 		t.Error("store to a checkpointing block was not buffered in DRAM")
 	}
-	be := c.blocks[0]
+	be, _ := c.blocks.Get(0)
 	if be.active != activeDRAM {
 		t.Errorf("entry active=%d, want activeDRAM", be.active)
 	}
@@ -213,7 +213,7 @@ func TestWriteToNonCheckpointingBlockGoesDirectDuringDrain(t *testing.T) {
 	c.BeginCheckpoint(now, nil)
 	// A different block, not part of the in-flight checkpoint: direct NVM.
 	writeB(t, c, now+1, 4096, 9)
-	be := c.blocks[mem.BlockIndex(4096)]
+	be, _ := c.blocks.Get(mem.BlockIndex(4096))
 	if be == nil || be.active != activeNVM {
 		t.Error("store to untracked block should remap directly in NVM")
 	}
@@ -332,7 +332,7 @@ func TestIdleEntriesDecayToHome(t *testing.T) {
 	now = checkpoint(c, now)
 	now = writeB(t, c, now, 8192, 3)
 	now = checkpoint(c, now)
-	if be := c.blocks[0]; be != nil {
+	if be, ok := c.blocks.Get(0); ok {
 		t.Errorf("idle entry never decayed (dying=%v idle=%d)", be.dying, be.idle)
 	}
 	got, _ := readB(t, c, now, 0)

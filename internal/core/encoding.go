@@ -223,7 +223,7 @@ func HardwareRowBits() (btt, ptt int) {
 // (diagnostics and tests; the persistent serialization used for recovery is
 // in recovery.go).
 func (c *Controller) SnapshotBTTRows() ([]uint64, error) {
-	out := make([]uint64, 0, len(c.blocks))
+	out := make([]uint64, 0, c.blocks.Len())
 	for _, e := range c.sortedBlocks() {
 		row, err := EncodeBTTRow(e.phys, blockEntryState(e), e.stores)
 		if err != nil {

@@ -210,14 +210,14 @@ func parseTables(blob []byte) (*tableImage, error) {
 func (c *Controller) Crash(at mem.Cycle) {
 	c.nvm.Crash(at)
 	c.dram.Crash(at)
-	c.blocks = make(map[uint64]*blockEntry)
-	c.pages = make(map[uint64]*pageEntry)
+	c.blocks.Reset()
+	c.pages.Reset()
 	c.freeBlockSlots = nil
 	c.freePageSlots = nil
 	c.freeDramBlockSlots = nil
 	c.freeDramPageSlots = nil
 	c.dramBump = 0
-	c.pageStores = make(map[uint64]uint32)
+	c.pageStores.Reset()
 	c.lastPageStores = nil
 	c.ckptInFlight = false
 	c.overflowReq = false

@@ -54,6 +54,8 @@ type Device struct {
 	banks   []bank
 	store   *Storage
 	pending []pendingWrite
+	minDone Cycle    // earliest completion among pending writes (valid when pending is non-empty)
+	free    [][]byte // recycled posted-write buffers, reused by WriteAt
 	stats   DeviceStats
 
 	// Telemetry: latency observations go to rec when recOn; the flag is
@@ -155,19 +157,58 @@ func (d *Device) access(now Cycle, addr uint64, write bool) (done Cycle) {
 }
 
 // settle applies every pending write that has completed by cycle now.
+//
+// The minDone fast path skips the queue scan entirely while no completion
+// has been reached — the overwhelmingly common case, since callers settle
+// on every access but writes take hundreds of cycles to drain. Skipping is
+// unobservable: reads forward pending data over stored bytes (same result
+// as applying eagerly), and the apply itself is order-insensitive here
+// because a settle batch is replayed in posting order.
 func (d *Device) settle(now Cycle) {
-	if len(d.pending) == 0 {
+	if len(d.pending) == 0 || now < d.minDone {
 		return
 	}
 	kept := d.pending[:0]
+	var min Cycle
 	for _, pw := range d.pending {
 		if pw.done <= now {
 			d.store.Write(pw.addr, pw.data)
+			d.recycle(pw.data)
 		} else {
+			if len(kept) == 0 || pw.done < min {
+				min = pw.done
+			}
 			kept = append(kept, pw)
 		}
 	}
 	d.pending = kept
+	d.minDone = min
+}
+
+// recycle returns a drained posted-write buffer to the free list for reuse.
+func (d *Device) recycle(buf []byte) {
+	if len(d.free) < d.spec.WriteQueueCap {
+		d.free = append(d.free, buf)
+	}
+}
+
+// getBuf returns a buffer of length n, reusing a recycled one when a recent
+// free-list entry is large enough. Posted-write sizes cluster (block-sized
+// CPU writes, page-sized checkpoint writebacks), so checking the tail of
+// the LIFO free list almost always hits.
+func (d *Device) getBuf(n int) []byte {
+	stop := len(d.free) - 4
+	if stop < 0 {
+		stop = 0
+	}
+	for i := len(d.free) - 1; i >= stop; i-- {
+		if cap(d.free[i]) >= n {
+			b := d.free[i][:n]
+			d.free = append(d.free[:i], d.free[i+1:]...)
+			return b
+		}
+	}
+	return make([]byte, n)
 }
 
 // Read performs a blocking read of len(buf) bytes at addr and returns the
@@ -278,14 +319,8 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 	ack = now
 	if len(d.pending) >= d.spec.WriteQueueCap {
 		// Stall until the oldest outstanding write completes.
-		oldest := d.pending[0].done
-		for _, pw := range d.pending {
-			if pw.done < oldest {
-				oldest = pw.done
-			}
-		}
-		if oldest > ack {
-			ack = oldest
+		if d.minDone > ack {
+			ack = d.minDone
 		}
 		d.settle(ack)
 	}
@@ -299,9 +334,12 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 			done = c
 		}
 	}
-	cp := make([]byte, len(data))
+	cp := d.getBuf(len(data))
 	copy(cp, data)
 	d.pending = append(d.pending, pendingWrite{addr: addr, data: cp, done: done})
+	if len(d.pending) == 1 || done < d.minDone {
+		d.minDone = done
+	}
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(len(data))
 	if src >= 0 && src < NumWriteSources {
@@ -358,8 +396,9 @@ func (d *Device) Crash(at Cycle) {
 		if pw.done <= at {
 			d.store.Write(pw.addr, pw.data)
 		}
+		d.recycle(pw.data)
 	}
-	d.pending = nil
+	d.pending = d.pending[:0]
 	if d.spec.Volatile {
 		d.store.Clear()
 	}

@@ -1,22 +1,41 @@
 package mem
 
+import "thynvm/internal/radix"
+
 // Storage is a sparse, byte-accurate backing store for a device's hardware
 // address space. Pages are allocated lazily and unwritten bytes read as
 // zero, so a multi-gigabyte address space costs only what is touched.
+//
+// Chunks are indexed by a radix table rather than a map: the chunk index is
+// dense near zero (physical frames are bump-allocated), so a lookup is a
+// few array indexations, and the table's MRU leaf memo makes the common
+// run of accesses to neighboring chunks a single indexation.
 type Storage struct {
-	chunks map[uint64][]byte
+	chunks radix.Table[[]byte]
 }
 
 // storageChunk is the allocation unit of Storage.
 const storageChunk = PageSize
 
+// zeroChunk is the read source for untouched space.
+var zeroChunk [storageChunk]byte
+
 // NewStorage returns an empty storage.
 func NewStorage() *Storage {
-	return &Storage{chunks: make(map[uint64][]byte)}
+	return &Storage{}
 }
 
 // Read copies len(buf) bytes starting at addr into buf.
 func (s *Storage) Read(addr uint64, buf []byte) {
+	// Fast path: the range lies within one chunk (every block access does).
+	if off := addr % storageChunk; int(off)+len(buf) <= storageChunk {
+		if c, ok := s.chunks.Get(addr / storageChunk); ok {
+			copy(buf, c[off:])
+		} else {
+			copy(buf, zeroChunk[:len(buf)])
+		}
+		return
+	}
 	for len(buf) > 0 {
 		base := addr / storageChunk
 		off := int(addr % storageChunk)
@@ -24,12 +43,10 @@ func (s *Storage) Read(addr uint64, buf []byte) {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if c, ok := s.chunks[base]; ok {
+		if c, ok := s.chunks.Get(base); ok {
 			copy(buf[:n], c[off:off+n])
 		} else {
-			for i := 0; i < n; i++ {
-				buf[i] = 0
-			}
+			copy(buf[:n], zeroChunk[:])
 		}
 		buf = buf[n:]
 		addr += uint64(n)
@@ -38,6 +55,14 @@ func (s *Storage) Read(addr uint64, buf []byte) {
 
 // Write copies data into storage starting at addr.
 func (s *Storage) Write(addr uint64, data []byte) {
+	if off := addr % storageChunk; int(off)+len(data) <= storageChunk {
+		slot := s.chunks.Ref(addr / storageChunk)
+		if *slot == nil {
+			*slot = make([]byte, storageChunk)
+		}
+		copy((*slot)[off:], data)
+		return
+	}
 	for len(data) > 0 {
 		base := addr / storageChunk
 		off := int(addr % storageChunk)
@@ -45,12 +70,11 @@ func (s *Storage) Write(addr uint64, data []byte) {
 		if n > len(data) {
 			n = len(data)
 		}
-		c, ok := s.chunks[base]
-		if !ok {
-			c = make([]byte, storageChunk)
-			s.chunks[base] = c
+		slot := s.chunks.Ref(base)
+		if *slot == nil {
+			*slot = make([]byte, storageChunk)
 		}
-		copy(c[off:off+n], data[:n])
+		copy((*slot)[off:off+n], data[:n])
 		data = data[n:]
 		addr += uint64(n)
 	}
@@ -58,47 +82,50 @@ func (s *Storage) Write(addr uint64, data []byte) {
 
 // Clear discards all contents (a volatile device losing power).
 func (s *Storage) Clear() {
-	s.chunks = make(map[uint64][]byte)
+	s.chunks.Reset()
 }
 
 // FootprintBytes reports how many bytes of backing memory have been touched.
 func (s *Storage) FootprintBytes() uint64 {
-	return uint64(len(s.chunks)) * storageChunk
+	return uint64(s.chunks.Len()) * storageChunk
 }
 
 // Clone returns a deep copy of the storage, used by the verification oracle
 // to snapshot durable state at commit points.
 func (s *Storage) Clone() *Storage {
 	c := NewStorage()
-	for base, chunk := range s.chunks {
-		dup := make([]byte, storageChunk)
+	backing := make([]byte, s.chunks.Len()*storageChunk)
+	c.chunks = *s.chunks.Clone(func(chunk []byte) []byte {
+		dup := backing[:storageChunk:storageChunk]
+		backing = backing[storageChunk:]
 		copy(dup, chunk)
-		c.chunks[base] = dup
-	}
+		return dup
+	})
 	return c
 }
 
 // Equal reports whether two storages hold identical contents over all
 // touched addresses of either.
 func (s *Storage) Equal(o *Storage) bool {
-	var zero [storageChunk]byte
-	for base, chunk := range s.chunks {
-		oc, ok := o.chunks[base]
+	equal := true
+	s.chunks.Scan(func(base uint64, chunk []byte) bool {
+		oc, ok := o.chunks.Get(base)
 		if !ok {
-			oc = zero[:]
+			oc = zeroChunk[:]
 		}
-		if !bytesEqual(chunk, oc) {
-			return false
-		}
+		equal = bytesEqual(chunk, oc)
+		return equal
+	})
+	if !equal {
+		return false
 	}
-	for base, chunk := range o.chunks {
-		if _, ok := s.chunks[base]; !ok {
-			if !bytesEqual(chunk, zero[:]) {
-				return false
-			}
+	o.chunks.Scan(func(base uint64, chunk []byte) bool {
+		if _, ok := s.chunks.Get(base); !ok {
+			equal = bytesEqual(chunk, zeroChunk[:])
 		}
-	}
-	return true
+		return equal
+	})
+	return equal
 }
 
 func bytesEqual(a, b []byte) bool {

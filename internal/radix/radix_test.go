@@ -1,0 +1,196 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestDifferentialVsMap drives a Table and a plain map with the same random
+// operation stream and asserts they agree at every step — presence, value,
+// length, and ordered key set.
+func TestDifferentialVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tab Table[uint64]
+	shadow := map[uint64]uint64{}
+
+	// Key distribution mirrors the simulator: mostly dense-near-zero with
+	// occasional far keys (bump-allocated tail), and bursts of repeated
+	// keys (the MRU-memo case).
+	randKey := func() uint64 {
+		switch rng.Intn(10) {
+		case 0:
+			return rng.Uint64() % (1 << 40) // far tail
+		case 1, 2:
+			return rng.Uint64() % 8 // leaf 0, heavy reuse
+		default:
+			return rng.Uint64() % 4096
+		}
+	}
+
+	var last uint64
+	for i := 0; i < 200_000; i++ {
+		k := randKey()
+		if rng.Intn(4) == 0 {
+			k = last // repeat the previous key: exercises the memo
+		}
+		last = k
+		switch rng.Intn(10) {
+		case 0, 1:
+			tab.Delete(k)
+			delete(shadow, k)
+		case 2:
+			*tab.Ref(k)++
+			shadow[k]++
+		default:
+			v := rng.Uint64()
+			tab.Set(k, v)
+			shadow[k] = v
+		}
+		got, ok := tab.Get(k)
+		want, wok := shadow[k]
+		if ok != wok || got != want {
+			t.Fatalf("step %d: Get(%d) = %d,%v; map has %d,%v", i, k, got, ok, want, wok)
+		}
+		if tab.Len() != len(shadow) {
+			t.Fatalf("step %d: Len() = %d, map has %d", i, tab.Len(), len(shadow))
+		}
+	}
+
+	wantKeys := make([]uint64, 0, len(shadow))
+	for k := range shadow {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	gotKeys := tab.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range gotKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("Keys()[%d] = %d, want %d", i, gotKeys[i], wantKeys[i])
+		}
+		if v, ok := tab.Get(gotKeys[i]); !ok || v != shadow[gotKeys[i]] {
+			t.Fatalf("Get(%d) = %d,%v, want %d", gotKeys[i], v, ok, shadow[gotKeys[i]])
+		}
+	}
+}
+
+func TestZeroValuesAreStorable(t *testing.T) {
+	var tab Table[uint64]
+	if _, ok := tab.Get(7); ok {
+		t.Fatal("empty table claims key 7")
+	}
+	tab.Set(7, 0) // value 0 must be distinguishable from absence
+	if v, ok := tab.Get(7); !ok || v != 0 {
+		t.Fatalf("Get(7) = %d,%v; want 0,true", v, ok)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tab.Len())
+	}
+	tab.Delete(7)
+	if _, ok := tab.Get(7); ok || tab.Len() != 0 {
+		t.Fatal("Delete(7) did not remove the key")
+	}
+	tab.Delete(7) // deleting an absent key is a no-op
+	if tab.Len() != 0 {
+		t.Fatalf("Len() = %d after double delete", tab.Len())
+	}
+}
+
+func TestScanOrderAndEarlyExit(t *testing.T) {
+	var tab Table[int]
+	keys := []uint64{0, 1, 511, 512, 513, 1 << 20, 1<<20 + 1, 1 << 30}
+	for i := len(keys) - 1; i >= 0; i-- { // insert in descending order
+		tab.Set(keys[i], int(keys[i]))
+	}
+	var got []uint64
+	tab.Scan(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("Scan visited k=%d with v=%d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Scan visited %d keys, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("Scan order[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+	n := 0
+	tab.Scan(func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-exit Scan visited %d keys, want 3", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	var tab Table[[]byte]
+	tab.Set(3, []byte{1, 2, 3})
+	tab.Set(600, []byte{4})
+	c := tab.Clone(func(b []byte) []byte { return append([]byte(nil), b...) })
+	v, _ := c.Get(3)
+	v[0] = 99
+	orig, _ := tab.Get(3)
+	if orig[0] != 1 {
+		t.Fatal("Clone with dup shared value storage")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("clone Len() = %d, want 2", c.Len())
+	}
+	// Mutating the clone's structure must not affect the source.
+	c.Delete(600)
+	if _, ok := tab.Get(600); !ok {
+		t.Fatal("clone Delete leaked into source")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tab Table[int]
+	for i := uint64(0); i < 1000; i++ {
+		tab.Set(i*37, int(i))
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len() = %d after Reset", tab.Len())
+	}
+	if _, ok := tab.Get(0); ok {
+		t.Fatal("Reset table still has key 0")
+	}
+	tab.Set(5, 5) // usable after reset
+	if v, ok := tab.Get(5); !ok || v != 5 {
+		t.Fatalf("Get(5) after Reset = %d,%v", v, ok)
+	}
+}
+
+func BenchmarkTableGetHit(b *testing.B) {
+	var tab Table[uint64]
+	for i := uint64(0); i < 1<<16; i++ {
+		tab.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := tab.Get(uint64(i) & (1<<16 - 1))
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkMapGetHit(b *testing.B) {
+	m := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		m[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m[uint64(i)&(1<<16-1)]
+	}
+	_ = sink
+}

@@ -214,6 +214,7 @@ func (m *Machine) Write(addr uint64, data []byte) {
 // Peek reads the software-visible memory image without advancing time,
 // including data still dirty in the caches (what a program would load).
 func (m *Machine) Peek(addr uint64, buf []byte) {
+	var block [mem.BlockSize]byte
 	for len(buf) > 0 {
 		n := int(mem.BlockSize - addr%mem.BlockSize)
 		if n > len(buf) {
@@ -225,10 +226,9 @@ func (m *Machine) Peek(addr uint64, buf []byte) {
 		// use hierarchy state by reading at current time WITHOUT retiring
 		// an op would disturb LRU/timing. Instead flushless peek: the
 		// hierarchy's dirty data is what PeekDirty overlays.
-		block := make([]byte, mem.BlockSize)
 		base := mem.BlockAlign(addr)
-		m.ctrl.PeekBlock(base, block)
-		m.hier.PeekOverlay(base, block)
+		m.ctrl.PeekBlock(base, block[:])
+		m.hier.PeekOverlay(base, block[:])
 		copy(buf[:n], block[addr-base:])
 		addr += uint64(n)
 		buf = buf[n:]

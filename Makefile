@@ -5,7 +5,7 @@ BENCHPKGS := ./internal/radix ./internal/mem ./internal/cache ./internal/core
 BENCHTIME ?= 2s
 BENCHDIR  := bench
 
-.PHONY: all build test race vet bench bench-baseline bench-cmp bench-smoke clean
+.PHONY: all build test race vet lint bench bench-baseline bench-cmp bench-smoke clean
 
 all: build test
 
@@ -20,6 +20,23 @@ race:
 
 vet:
 	$(GO) vet $(PKGS)
+
+# Pinned staticcheck release; CI installs exactly this version. Locally:
+# go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+STATICCHECK_VERSION := 2025.1.1
+
+# Static checks: stock go vet, then the project's own analyzers
+# (maporder, walltime, hotalloc, deferclose — see DESIGN.md §9), then
+# staticcheck when installed (skipped, not failed, in hermetic
+# environments with no module cache).
+lint:
+	$(GO) vet $(PKGS)
+	$(GO) run ./cmd/thynvm-lint $(PKGS)
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck $(PKGS); \
+	else \
+		echo "staticcheck not installed; skipping (pin: staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # Run the hot-path benchmarks and save the result for comparison.
 bench:

@@ -1,0 +1,120 @@
+// Command thynvm-lint runs the project's custom static analyzers
+// (internal/analysis: maporder, walltime, hotalloc, deferclose) over Go
+// package patterns. The suite makes the simulator's headline guarantees —
+// byte-identical output for any -parallel value, zero-alloc hot paths,
+// profile/file cleanup on every CLI exit path — un-regressable at compile
+// time; the golden tests then only ever confirm what the checker already
+// proved.
+//
+// Usage:
+//
+//	thynvm-lint [packages]          # default: ./...
+//	thynvm-lint -list               # print the analyzers and exit
+//	go vet -vettool=$(which thynvm-lint) ./...
+//
+// Standalone exit status: 0 clean, 1 findings (or type errors), 2 usage or
+// load failure. Under go vet the unitchecker-style protocol is used
+// instead (see vettool.go).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"thynvm/internal/analysis"
+	"thynvm/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool with -V=full and -flags, then invokes it
+	// with a single *.cfg argument; everything else is standalone mode.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// The full output is go's build-cache fingerprint for vet
+			// results; bump the version when analyzer behavior changes.
+			fmt.Printf("thynvm-lint version thynvm-lint-v1.0.0\n")
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetTool(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("thynvm-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
+		return 2
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "thynvm-lint: %s: type error: %v\n", pkg.ImportPath, terr)
+			failed = true
+		}
+		diags, err := runAnalyzers(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzers applies the whole suite to one loaded package, returning
+// position-sorted diagnostics.
+func runAnalyzers(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.All {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,175 @@
+// Package analysis implements the thynvm-lint static checks: a small,
+// dependency-free analog of golang.org/x/tools/go/analysis carrying four
+// project-specific analyzers that make the simulator's determinism and
+// hot-path guarantees un-regressable at compile time.
+//
+// The framework mirrors the upstream API shape (Analyzer, Pass,
+// Diagnostic) so the analyzers could be ported to the real go/analysis
+// driver verbatim if x/tools ever becomes a dependency; until then the
+// suite runs through internal/analysis/load (a go list + go/types package
+// loader) and cmd/thynvm-lint, entirely on the standard library.
+//
+// Escape hatches are line directives. A directive on the flagged line, or
+// on the line directly above it, suppresses the finding:
+//
+//	//thynvm:allow-maporder <reason>  — sanctioned map iteration
+//	//thynvm:allow-walltime <reason>  — sanctioned wall-clock/entropy use
+//	//thynvm:allow-alloc <reason>     — deliberate amortized allocation
+//	//thynvm:allow-nodefer <reason>   — cleanup proven on all paths by hand
+//
+// and //thynvm:hotpath in a function's doc comment opts the function into
+// the hotalloc check. Every directive except hotpath requires a reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(*Pass) error
+}
+
+// All is the thynvm-lint suite in reporting order.
+var All = []*Analyzer{MapOrder, WallTime, HotAlloc, DeferClose}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	// directives caches the per-file line → directive table.
+	directives map[*ast.File]map[int][]directive
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// directivePrefix introduces all thynvm-lint control comments.
+const directivePrefix = "//thynvm:"
+
+// A directive is one parsed //thynvm: control comment.
+type directive struct {
+	name   string // e.g. "allow-walltime"
+	reason string
+}
+
+// parseDirective parses a single comment, returning ok=false for ordinary
+// comments.
+func parseDirective(text string) (directive, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	return directive{name: name, reason: strings.TrimSpace(reason)}, true
+}
+
+// fileDirectives returns the line → directives table for file, building it
+// on first use.
+func (p *Pass) fileDirectives(file *ast.File) map[int][]directive {
+	if d, ok := p.directives[file]; ok {
+		return d
+	}
+	table := make(map[int][]directive)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			table[p.Fset.Position(c.Pos()).Line] = append(table[p.Fset.Position(c.Pos()).Line], d)
+		}
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]directive)
+	}
+	p.directives[file] = table
+	return table
+}
+
+// Allowed reports whether a finding at pos inside file is suppressed by an
+// //thynvm:<name> directive on the same line or the line directly above.
+// Directives without a reason do not suppress anything: the reason is the
+// audit trail the escape hatch exists to capture.
+func (p *Pass) Allowed(file *ast.File, pos token.Pos, name string) bool {
+	table := p.fileDirectives(file)
+	line := p.Fset.Position(pos).Line
+	for _, d := range append(table[line], table[line-1]...) {
+		if d.name == name && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPath reports whether fn's doc comment carries //thynvm:hotpath.
+func HotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.name == "hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// funcObj resolves a call's callee to its *types.Func (package function or
+// method), or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes a package-level function of the
+// package with import path pkgPath whose name is in names (empty names
+// matches any function of the package).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"thynvm/internal/analysis"
+	"thynvm/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over positive fixtures (under an import path inside
+// the simulation scope, where every `// want` expectation must fire) and,
+// for the scope-limited analyzers, a cmd/ fixture that does the same
+// forbidden things legally and must stay silent.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder,
+		"thynvm/internal/core/mapfixture",
+		"thynvm/cmd/mapfixture")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime,
+		"thynvm/internal/core/wallfixture",
+		"thynvm/cmd/mapfixture")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc,
+		"thynvm/internal/core/hotfixture")
+}
+
+func TestDeferClose(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeferClose,
+		"thynvm/cmd/deferfixture")
+}

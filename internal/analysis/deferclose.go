@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DeferClose flags resource acquisitions whose cleanup is not deferred —
+// the exact bug class PR 2 fixed in the CLIs, where os.Exit on an error
+// path skipped f.Close/pprof.StopCPUProfile and truncated profiles:
+//
+//   - an os.Create/os.Open/os.OpenFile result must be closed via defer in
+//     the acquiring function, unless ownership demonstrably leaves the
+//     function (the file is returned, stored, or passed to another call);
+//   - every pprof.StartCPUProfile must be paired with a deferred
+//     pprof.StopCPUProfile in the same function.
+//
+// Hand-verified patterns (e.g. a helper that must check the Close error on
+// the success path) are annotated //thynvm:allow-nodefer <reason>.
+var DeferClose = &Analyzer{
+	Name: "deferclose",
+	Doc: "require deferred cleanup for os.Create/os.Open/os.OpenFile and pprof.StartCPUProfile " +
+		"(escape hatch: //thynvm:allow-nodefer <reason>)",
+	Run: runDeferClose,
+}
+
+func runDeferClose(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDeferClose(pass, file, fn)
+		}
+	}
+	return nil
+}
+
+func checkDeferClose(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
+	// One linear pass collects acquisitions and the evidence that can
+	// discharge them: deferred statements, returns, and argument passing.
+	type acquisition struct {
+		name string
+		pos  token.Pos
+		what string
+	}
+	var acquired []acquisition
+	deferred := map[string]bool{} // identifiers mentioned under any defer
+	escaped := map[string]bool{}  // identifiers returned or passed to calls
+	var pprofStarts []token.Pos   // pprof.StartCPUProfile call sites
+	deferredStop := false         // saw defer pprof.StopCPUProfile()
+
+	markIdents := func(n ast.Node, set map[string]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+			return true
+		})
+	}
+	// markResults is markIdents minus call subtrees: `return f, nil` hands
+	// f to the caller, but `return f.Close()` does not — the callee
+	// arguments inside are already covered by the CallExpr case below.
+	markResults := func(n ast.Node, set map[string]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.CallExpr); ok {
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isPkgCall(pass.TypesInfo, n.Call, "runtime/pprof", "StopCPUProfile") {
+				deferredStop = true
+			}
+			markIdents(n.Call, deferred)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markResults(res, escaped)
+			}
+		case *ast.AssignStmt:
+			// Storing the value anywhere but a plain local (s.f = f,
+			// files[i] = f) moves ownership out of the function.
+			for i, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.Ident); ok {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok {
+						escaped[id.Name] = true
+					}
+				}
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if !isPkgCall(pass.TypesInfo, call, "os", "Create", "Open", "OpenFile") {
+					continue
+				}
+				// With one call on the RHS the file is Lhs[0]
+				// regardless of how many values it yields.
+				if id, ok := n.Lhs[min(i, len(n.Lhs)-1)].(*ast.Ident); ok && id.Name != "_" {
+					acquired = append(acquired, acquisition{
+						name: id.Name, pos: call.Pos(),
+						what: "os." + funcObj(pass.TypesInfo, call).Name(),
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if isPkgCall(pass.TypesInfo, n, "runtime/pprof", "StartCPUProfile") {
+				pprofStarts = append(pprofStarts, n.Pos())
+			}
+			// Passing the file to any other call transfers ownership
+			// (pprof.StartCPUProfile(f), bufio.NewWriter(f), write(f)).
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					escaped[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, a := range acquired {
+		if deferred[a.name] || escaped[a.name] || pass.Allowed(file, a.pos, "allow-nodefer") {
+			continue
+		}
+		pass.Reportf(a.pos,
+			"%s result %q is never cleaned up via defer in %s and does not leave the function; "+
+				"an early return leaks it — defer %s.Close() (or annotate //thynvm:allow-nodefer <reason>)",
+			a.what, a.name, fn.Name.Name, a.name)
+	}
+	for _, pos := range pprofStarts {
+		if deferredStop || pass.Allowed(file, pos, "allow-nodefer") {
+			continue
+		}
+		pass.Reportf(pos,
+			"pprof.StartCPUProfile in %s has no matching defer pprof.StopCPUProfile(); "+
+				"an early return truncates the profile (or annotate //thynvm:allow-nodefer <reason>)",
+			fn.Name.Name)
+	}
+}

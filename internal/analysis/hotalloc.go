@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the zero-alloc hot paths (DESIGN.md §8). Functions
+// annotated //thynvm:hotpath in their doc comment — the access paths whose
+// benchmarks pin 0 allocs/op — are checked for constructs that heap
+// allocate on the fast path:
+//
+//   - make/new calls and slice, map and &composite literals
+//   - append to a slice not derived from the receiver (receiver-owned
+//     buffers are reused across calls; anything else allocates per call)
+//   - closures (func literals capture by reference and escape)
+//   - calls into fmt, log and errors (formatting always allocates)
+//   - string concatenation
+//   - implicit conversion of a non-pointer value to an interface parameter
+//     (boxes the value on the heap)
+//
+// Deliberate slow-path allocations — lazy chunk allocation, table growth —
+// stay legal with a //thynvm:allow-alloc <reason> directive on the line,
+// which is the audit trail for every amortized-to-zero exception.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag heap-allocating constructs inside //thynvm:hotpath functions " +
+		"(escape hatch: //thynvm:allow-alloc <reason>)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HotPath(fn) {
+				continue
+			}
+			checkHotFunc(pass, file, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
+	rooted := receiverRooted(fn)
+	flag := func(pos token.Pos, format string, args ...any) {
+		if pass.Allowed(file, pos, "allow-alloc") {
+			return
+		}
+		args = append(args, fn.Name.Name)
+		pass.Reportf(pos, format+" in hotpath function %s; restructure or annotate //thynvm:allow-alloc <reason>", args...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, rooted, flag)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				flag(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(lit.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			flag(n.Pos(), "closure allocates (captured variables escape)")
+			return false // a closure body is not the hot path's fast path
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				flag(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the call-shaped hotalloc rules.
+func checkHotCall(pass *Pass, call *ast.CallExpr, rooted map[string]bool, flag func(token.Pos, string, ...any)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !exprRooted(call.Args[0], rooted) {
+					flag(call.Pos(), "append to a slice not derived from the receiver may allocate per call")
+				}
+			}
+			return
+		}
+	}
+	if fn := funcObj(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log", "errors":
+			flag(call.Pos(), "%s.%s allocates", fn.Pkg().Path(), fn.Name())
+			return
+		}
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin, handled above
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) || isPointerLike(at) {
+			continue
+		}
+		flag(arg.Pos(), "implicit conversion of %s to interface parameter boxes the value", at)
+	}
+}
+
+// paramType returns the effective type of argument i, unrolling variadics;
+// nil when i is out of range (e.g. a method value call mismatch).
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPointerLike reports whether converting a value of type t to an
+// interface stores the value directly in the interface word (no boxing).
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// receiverRooted seeds and fixpoints the set of identifiers whose storage
+// is owned by the receiver: the receiver itself, plus locals assigned from
+// receiver-rooted expressions (kept := d.pending[:0] makes kept rooted).
+// append into rooted storage reuses capacity across calls and amortizes to
+// zero allocations.
+func receiverRooted(fn *ast.FuncDecl) map[string]bool {
+	rooted := make(map[string]bool)
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, name := range f.Names {
+				rooted[name.Name] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || rooted[id.Name] {
+					continue
+				}
+				if exprRooted(as.Rhs[i], rooted) {
+					rooted[id.Name] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return rooted
+}
+
+// exprRooted reports whether e's backing storage derives from a rooted
+// identifier.
+func exprRooted(e ast.Expr, rooted map[string]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return rooted[e.Name]
+	case *ast.SelectorExpr:
+		return exprRooted(e.X, rooted)
+	case *ast.SliceExpr:
+		return exprRooted(e.X, rooted)
+	case *ast.IndexExpr:
+		return exprRooted(e.X, rooted)
+	case *ast.StarExpr:
+		return exprRooted(e.X, rooted)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && exprRooted(e.X, rooted)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return exprRooted(e.Args[0], rooted)
+		}
+	}
+	return false
+}

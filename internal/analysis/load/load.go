@@ -1,0 +1,186 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for the thynvm-lint analyzers, using only the standard library:
+// `go list -json` supplies the file lists and import graph, go/parser and
+// go/types build the ASTs and type information, and the go/importer
+// "source" importer resolves standard-library imports from $GOROOT/src.
+// Imports inside this module are satisfied from the packages being loaded
+// (type-checked in dependency order), so the loader needs no export data,
+// no network, and no GOPATH.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects non-fatal type-checking problems. A package
+	// with type errors still carries partial information, but the lint
+	// driver treats any entry here as a failure: the tree must compile.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Packages loads and type-checks the packages matching patterns, rooted at
+// dir ("" for the current directory). Test files are not included: the
+// lint suite guards shipping code, and _test.go files may use wall-clock
+// and maps freely.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	// Dependency-order the module-internal subgraph so every local
+	// import is checked before its importers.
+	order := make([]*listedPackage, 0, len(listed))
+	state := make(map[string]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("load: import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range listed {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package),
+	}
+	var pkgs []*Package
+	for _, lp := range order {
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// goList shells out to `go list -json` for the package metadata. The go
+// tool is necessarily present: it is how anything in this repo builds.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check reports the first hard error; soft errors land in TypeErrors.
+	// Either way the caller sees them via TypeErrors, so analysis can
+	// proceed on whatever information exists.
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// moduleImporter resolves module-internal imports from the packages loaded
+// so far and everything else (the standard library) from source.
+type moduleImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration in simulation packages. Go randomizes map
+// iteration order per run, so a `for range m` over a map — or draining
+// maps.Keys/maps.Values — is the main way nondeterminism can leak back
+// into outputs now that radix.Table.Scan owns ordered iteration on the
+// hot paths.
+//
+// A finding is suppressed when the enclosing function also calls a
+// sorting routine (sort.* or slices.Sort*): the established idiom collects
+// keys from the map and sorts them before any order-dependent use, and
+// that pattern is deterministic. Anything else needs an explicit
+// //thynvm:allow-maporder <reason> directive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag nondeterministic map iteration in simulation packages " +
+		"(range over maps, maps.Keys/maps.Values) unless the keys are sorted in the same function",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !InSimScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorts := callsSort(pass.TypesInfo, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					t := pass.TypesInfo.TypeOf(n.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					if sorts || pass.Allowed(file, n.Pos(), "allow-maporder") {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"range over map (%s): iteration order is nondeterministic in simulation packages; "+
+							"sort the keys first, use a radix.Table (Scan iterates in key order), "+
+							"or annotate //thynvm:allow-maporder <reason>", t)
+				case *ast.CallExpr:
+					if !isPkgCall(pass.TypesInfo, n, "maps", "Keys", "Values") {
+						return true
+					}
+					if sorts || pass.Allowed(file, n.Pos(), "allow-maporder") {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"maps.%s yields keys in nondeterministic order; sort the result before use "+
+							"(e.g. slices.Sorted) or annotate //thynvm:allow-maporder <reason>",
+						funcObj(pass.TypesInfo, n).Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// callsSort reports whether body contains a call into package sort, or a
+// slices.Sort*/slices.Sorted* call — the signal that map-derived keys are
+// ordered before use.
+func callsSort(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgCall(info, call, "sort") {
+			found = true
+		}
+		if fn := funcObj(info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

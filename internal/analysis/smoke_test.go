@@ -1,0 +1,131 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thynvm/internal/analysis"
+	"thynvm/internal/analysis/load"
+)
+
+// TestTreeIsClean is the suite's core guarantee, run in-process: every
+// package of this module passes all four analyzers. Any regression — a
+// map range sneaking into internal/core, an allocation eroding a
+// //thynvm:hotpath function — fails `go test` before it can reach CI's
+// lint step.
+func TestTreeIsClean(t *testing.T) {
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.ImportPath, terr)
+		}
+		for _, a := range analysis.All {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				t.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+}
+
+// TestLintCLI builds cmd/thynvm-lint and checks its exit-status contract
+// end to end: 0 on this (clean) tree, 1 on a module where each analyzer
+// has something to find — including via the go vet -vettool protocol.
+func TestLintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary")
+	}
+	bin := filepath.Join(t.TempDir(), "thynvm-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/thynvm-lint")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building thynvm-lint: %v\n%s", err, out)
+	}
+
+	clean := exec.Command(bin, "./...")
+	clean.Dir = "../.."
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("thynvm-lint ./... on a clean tree: %v\n%s", err, out)
+	}
+
+	// A scratch module named thynvm, so its internal/core is in scope.
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module thynvm\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "core", "bad.go"), `package core
+
+import (
+	"os"
+	"time"
+)
+
+func MapSum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+//thynvm:hotpath
+func Buf() []byte { return make([]byte, 64) }
+
+func Leak(path string) {
+	f, _ := os.Create(path)
+	f.WriteString("x")
+	f.Close()
+}
+`)
+
+	dirty := exec.Command(bin, "./...")
+	dirty.Dir = dir
+	out, err := dirty.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("thynvm-lint on a dirty tree: want exit 1, got %v\n%s", err, out)
+	}
+	for _, a := range analysis.All {
+		if !strings.Contains(string(out), "("+a.Name+")") {
+			t.Errorf("dirty-tree output missing a %s finding:\n%s", a.Name, out)
+		}
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err = vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on a dirty tree: want failure, got success\n%s", out)
+	}
+	if !strings.Contains(string(out), "(maporder)") {
+		t.Errorf("vettool output missing the maporder finding:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package deferfixture exercises the deferclose analyzer. Unlike
+// maporder/walltime it applies everywhere, cmd/ included: it guards CLI
+// exit paths.
+package deferfixture
+
+import (
+	"os"
+	"runtime/pprof"
+)
+
+type holder struct{ f *os.File }
+
+// Leaky never defers and keeps ownership: flagged — the early return on a
+// write error would leak the handle and lose buffered bytes.
+func Leaky(path string) error {
+	f, err := os.Create(path) // want `os.Create result "f" is never cleaned up via defer`
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Deferred is the canonical pattern: not flagged.
+func Deferred(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// Handoff passes the file to another call, transferring cleanup
+// responsibility: not flagged.
+func Handoff(path string, consume func(*os.File) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// Opened returns the file to the caller: not flagged.
+func Opened(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Kept stores the file beyond the function: not flagged.
+func (h *holder) Kept(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// CheckedClose is the hand-audited helper shape — every path closes, and
+// the success path returns the Close error, so a defer would be wrong.
+// The annotation (with its reason) is what keeps it legal.
+func CheckedClose(path string) error {
+	//thynvm:allow-nodefer every path closes; success path must return the Close error
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ProfileLeaky stops the profile only on the success path: flagged — the
+// early return truncates the profile, the PR 2 bug class.
+func ProfileLeaky(f *os.File, work func() error) error {
+	if err := pprof.StartCPUProfile(f); err != nil { // want `no matching defer pprof.StopCPUProfile`
+		return err
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// ProfileDeferred is the canonical pairing: not flagged.
+func ProfileDeferred(f *os.File, work func() error) error {
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	return work()
+}

@@ -1,0 +1,21 @@
+// Package mapfixture (cmd variant) sits outside the simulation-package
+// scope: maporder and walltime must report nothing here, whatever the
+// code does.
+package mapfixture
+
+import "time"
+
+// Sum iterates a map unsorted, legally: cmd/ output need not be
+// deterministic.
+func Sum(m map[uint64]uint64) uint64 {
+	var s uint64
+	for k, v := range m {
+		s += k + v
+	}
+	return s
+}
+
+// Stamp reads the wall clock, legally: progress reporting lives in cmd/.
+func Stamp() time.Time {
+	return time.Now()
+}

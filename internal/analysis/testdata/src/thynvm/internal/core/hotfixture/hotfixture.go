@@ -1,0 +1,112 @@
+// Package hotfixture exercises the hotalloc analyzer. Only functions
+// carrying //thynvm:hotpath in their doc comment are checked.
+package hotfixture
+
+import "fmt"
+
+type sink interface{ Consume(v any) }
+
+type ring struct {
+	buf []byte
+	tmp []uint64
+}
+
+// Cold is unannotated: hotalloc never looks inside.
+func Cold() []byte {
+	return make([]byte, 64)
+}
+
+// Push appends into receiver-owned storage, which reuses capacity across
+// calls: not flagged.
+//
+//thynvm:hotpath
+func (r *ring) Push(v uint64) {
+	r.tmp = append(r.tmp, v)
+}
+
+// Drain reslices receiver storage and appends into it: the rooted-in-
+// receiver rule follows the local alias, not flagged.
+//
+//thynvm:hotpath
+func (r *ring) Drain() int {
+	kept := r.tmp[:0]
+	for _, v := range r.tmp {
+		if v != 0 {
+			kept = append(kept, v)
+		}
+	}
+	r.tmp = kept
+	return len(kept)
+}
+
+// Collect appends into a fresh slice: flagged twice, once for the literal
+// and once for the per-call append growth.
+//
+//thynvm:hotpath
+func (r *ring) Collect(vs []uint64) []uint64 {
+	out := []uint64{}        // want `slice literal allocates in hotpath function Collect`
+	out = append(out, vs...) // want `append to a slice not derived from the receiver may allocate per call`
+	return out
+}
+
+// Grow makes on the hot path: flagged.
+//
+//thynvm:hotpath
+func (r *ring) Grow() {
+	r.buf = make([]byte, 128) // want `make allocates`
+}
+
+// GrowLazy is a deliberate amortized allocation with an audit trail: not
+// flagged.
+//
+//thynvm:hotpath
+func (r *ring) GrowLazy() {
+	if r.buf == nil {
+		//thynvm:allow-alloc one-time lazy buffer growth
+		r.buf = make([]byte, 128)
+	}
+}
+
+// Fresh heap-allocates via new and an escaping composite literal: flagged.
+//
+//thynvm:hotpath
+func Fresh(heap bool) *ring {
+	if heap {
+		return new(ring) // want `new allocates`
+	}
+	return &ring{} // want `&composite literal escapes to the heap`
+}
+
+// Log formats: flagged (fmt always allocates).
+//
+//thynvm:hotpath
+func (r *ring) Log(v uint64) {
+	fmt.Println(v) // want `fmt.Println allocates`
+}
+
+// Box implicitly converts a non-pointer value to an interface parameter:
+// flagged. Passing a pointer is free and is not.
+//
+//thynvm:hotpath
+func Box(s sink, v uint64, p *ring) {
+	s.Consume(v) // want `implicit conversion of uint64 to interface parameter boxes the value`
+	s.Consume(p)
+}
+
+// Each builds a closure: flagged.
+//
+//thynvm:hotpath
+func (r *ring) Each(f func(uint64)) {
+	g := func(v uint64) { f(v) } // want `closure allocates`
+	g(1)
+}
+
+// Name concatenates non-constant strings: flagged. Constant concatenation
+// folds at compile time and is not.
+//
+//thynvm:hotpath
+func Name(a, b string) string {
+	const prefix = "ring" + "-"
+	_ = prefix
+	return a + b // want `string concatenation allocates`
+}

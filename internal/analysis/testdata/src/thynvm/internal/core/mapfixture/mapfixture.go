@@ -1,0 +1,73 @@
+// Package mapfixture exercises the maporder analyzer inside the
+// simulation-package scope.
+package mapfixture
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// Sum iterates a map without sorting: flagged.
+func Sum(m map[uint64]uint64) uint64 {
+	var s uint64
+	for k, v := range m { // want `range over map \(map\[uint64\]uint64\): iteration order is nondeterministic`
+		s += k + v
+	}
+	return s
+}
+
+// SortedKeys collects then sorts in the same function: the sanctioned
+// pattern, not flagged.
+func SortedKeys(m map[uint64]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IterKeys drains maps.Keys without sorting: flagged.
+func IterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `maps.Keys yields keys in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedIterKeys sorts the drained keys: not flagged.
+func SortedIterKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// Count is order-insensitive and says so: not flagged.
+func Count(m map[uint64]uint64) int {
+	n := 0
+	//thynvm:allow-maporder order-insensitive count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CountBare carries a directive without a reason, which does not suppress:
+// flagged.
+func CountBare(m map[uint64]uint64) int {
+	n := 0
+	//thynvm:allow-maporder
+	for range m { // want `range over map`
+		n++
+	}
+	return n
+}
+
+// SumSlice ranges a slice: never flagged.
+func SumSlice(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

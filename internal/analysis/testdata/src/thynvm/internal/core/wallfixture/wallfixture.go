@@ -1,0 +1,54 @@
+// Package wallfixture exercises the walltime analyzer inside the
+// simulation-package scope.
+package wallfixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// Elapsed measures against the wall clock: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// Roll draws from the global math/rand source: flagged.
+func Roll() int {
+	return rand.Intn(6) // want `math/rand.Intn draws from the global, run-varying random source`
+}
+
+// Seeded builds an explicitly seeded local generator — the sanctioned
+// pattern, not flagged: rand.New/rand.NewSource are constructors and the
+// method calls on the local generator are deterministic.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Entropy reads the system entropy pool: flagged.
+func Entropy(b []byte) {
+	crand.Read(b) // want `crypto/rand.Read is a non-reproducible entropy source`
+}
+
+// PID injects process identity: flagged.
+func PID() int {
+	return os.Getpid() // want `os.Getpid injects process identity`
+}
+
+// Budget manipulates durations, which are just numbers: not flagged.
+func Budget(d time.Duration) float64 {
+	return d.Seconds() + (2 * time.Millisecond).Seconds()
+}
+
+// Progress is a hand-audited exception with a reason: not flagged.
+func Progress() time.Time {
+	//thynvm:allow-walltime demo escape hatch; value never reaches outputs
+	return time.Now()
+}

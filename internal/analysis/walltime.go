@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids wall-clock time and ambient entropy inside simulation
+// packages. Everything those packages produce must be a pure function of
+// the simulated cycle count and the workload seed; time.Now, the global
+// math/rand source, crypto/rand, and process identity are precisely the
+// inputs that vary between runs. Wall-clock is legal only in cmd/ and
+// internal/pool (progress reporting), which sit outside the scope list.
+//
+// Constructing explicitly seeded local generators (rand.New,
+// rand.NewSource) is allowed — that is the sanctioned pattern — as are
+// time.Duration values and arithmetic, which are just numbers.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/time.Since, the global math/rand source, crypto/rand and " +
+		"os.Getpid-style entropy in simulation packages (escape hatch: //thynvm:allow-walltime <reason>)",
+	Run: runWallTime,
+}
+
+// wallClockTimeFuncs are the package-level time functions that read or
+// schedule against the wall clock.
+var wallClockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededRandCtors are the math/rand(/v2) package-level functions that
+// build explicitly seeded local generators rather than draw from the
+// global source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !InSimScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			what := bannedEntropy(obj)
+			if what == "" || pass.Allowed(file, id.Pos(), "allow-walltime") {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s %s: simulation packages must be pure functions of simulated cycles and the seed; "+
+					"thread a value in from the caller or annotate //thynvm:allow-walltime <reason>",
+				obj.Pkg().Path(), obj.Name(), what)
+			return true
+		})
+	}
+	return nil
+}
+
+// bannedEntropy classifies a used object as a source of wall-clock time or
+// ambient entropy, returning a short description or "" if benign. Methods
+// (e.g. (*rand.Rand).Intn, time.Duration.Seconds) are never banned: a
+// local generator or duration value is deterministic.
+func bannedEntropy(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return ""
+		}
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if _, ok := obj.(*types.Func); ok && wallClockTimeFuncs[obj.Name()] {
+			return "reads the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if _, ok := obj.(*types.Func); ok && !seededRandCtors[obj.Name()] {
+			return "draws from the global, run-varying random source"
+		}
+	case "crypto/rand":
+		return "is a non-reproducible entropy source"
+	case "os":
+		if _, ok := obj.(*types.Func); ok && (obj.Name() == "Getpid" || obj.Name() == "Getppid") {
+			return "injects process identity"
+		}
+	}
+	return ""
+}

@@ -89,6 +89,8 @@ func newLevel(spec LevelSpec) *level {
 func (l *level) setOf(block uint64) []line { return l.sets[block%l.nsets] }
 
 // lookup returns the way holding block, or nil.
+//
+//thynvm:hotpath
 func (l *level) lookup(block uint64) *line {
 	set := l.setOf(block)
 	for i := range set {
@@ -185,6 +187,8 @@ func (h *Hierarchy) setDirty(ln *line, d bool) {
 // returning the completion cycle and the line now in level li... The fetch
 // recurses to lower levels or the backend on miss. Evicted dirty victims
 // are written to the level below (or the backend).
+//
+//thynvm:hotpath
 func (h *Hierarchy) fetch(now mem.Cycle, li int, block uint64, buf []byte) mem.Cycle {
 	if li == len(h.levels) {
 		return h.back.ReadBlock(now, block*mem.BlockSize, buf)
@@ -244,6 +248,8 @@ func (h *Hierarchy) writeBelow(now mem.Cycle, li int, block uint64, data []byte)
 
 // Read performs a timed read of len(buf) bytes at addr. The range must not
 // cross a cache-block boundary.
+//
+//thynvm:hotpath
 func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	if err := checkRange(addr, len(buf)); err != nil {
 		panic(err)
@@ -262,6 +268,8 @@ func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 
 // Write performs a timed write of data at addr (write-allocate, write-back).
 // The range must not cross a cache-block boundary.
+//
+//thynvm:hotpath
 func (h *Hierarchy) Write(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	if err := checkRange(addr, len(data)); err != nil {
 		panic(err)

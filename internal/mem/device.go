@@ -164,6 +164,8 @@ func (d *Device) access(now Cycle, addr uint64, write bool) (done Cycle) {
 // unobservable: reads forward pending data over stored bytes (same result
 // as applying eagerly), and the apply itself is order-insensitive here
 // because a settle batch is replayed in posting order.
+//
+//thynvm:hotpath
 func (d *Device) settle(now Cycle) {
 	if len(d.pending) == 0 || now < d.minDone {
 		return
@@ -213,6 +215,8 @@ func (d *Device) getBuf(n int) []byte {
 
 // Read performs a blocking read of len(buf) bytes at addr and returns the
 // completion cycle. Data still in the posted write queue is forwarded.
+//
+//thynvm:hotpath
 func (d *Device) Read(now Cycle, addr uint64, buf []byte) Cycle {
 	d.settle(now)
 	done := now

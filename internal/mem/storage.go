@@ -26,6 +26,8 @@ func NewStorage() *Storage {
 }
 
 // Read copies len(buf) bytes starting at addr into buf.
+//
+//thynvm:hotpath
 func (s *Storage) Read(addr uint64, buf []byte) {
 	// Fast path: the range lies within one chunk (every block access does).
 	if off := addr % storageChunk; int(off)+len(buf) <= storageChunk {
@@ -54,10 +56,13 @@ func (s *Storage) Read(addr uint64, buf []byte) {
 }
 
 // Write copies data into storage starting at addr.
+//
+//thynvm:hotpath
 func (s *Storage) Write(addr uint64, data []byte) {
 	if off := addr % storageChunk; int(off)+len(data) <= storageChunk {
 		slot := s.chunks.Ref(addr / storageChunk)
 		if *slot == nil {
+			//thynvm:allow-alloc lazy chunk allocation, once per touched chunk
 			*slot = make([]byte, storageChunk)
 		}
 		copy((*slot)[off:], data)
@@ -72,6 +77,7 @@ func (s *Storage) Write(addr uint64, data []byte) {
 		}
 		slot := s.chunks.Ref(base)
 		if *slot == nil {
+			//thynvm:allow-alloc lazy chunk allocation, once per touched chunk
 			*slot = make([]byte, storageChunk)
 		}
 		copy((*slot)[off:off+n], data[:n])

@@ -66,6 +66,8 @@ func (t *Table[V]) Len() int { return t.n }
 
 // lookupLeaf returns the leaf covering k, or nil, without allocating.
 // It refreshes the MRU memo on success.
+//
+//thynvm:hotpath
 func (t *Table[V]) lookupLeaf(hi uint64) *leaf[V] {
 	ri := hi >> midBits
 	if ri >= uint64(len(t.root)) || t.root[ri] == nil {
@@ -79,6 +81,8 @@ func (t *Table[V]) lookupLeaf(hi uint64) *leaf[V] {
 }
 
 // Get returns the value stored at k and whether k is present.
+//
+//thynvm:hotpath
 func (t *Table[V]) Get(k uint64) (V, bool) {
 	lo := k & leafMask
 	hi := k >> leafBits
@@ -99,6 +103,8 @@ func (t *Table[V]) Get(k uint64) (V, bool) {
 // Ref returns a pointer to the slot for k, inserting a zero value if k was
 // absent. The pointer is valid until the table is reset; callers may
 // mutate the value in place (e.g. increment a counter).
+//
+//thynvm:hotpath
 func (t *Table[V]) Ref(k uint64) *V {
 	lo := k & leafMask
 	if l := t.memo; l != nil && k>>leafBits == t.hi &&
@@ -115,10 +121,14 @@ func (t *Table[V]) Ref(k uint64) *V {
 }
 
 // Set stores v at k, inserting or overwriting.
+//
+//thynvm:hotpath
 func (t *Table[V]) Set(k uint64, v V) { *t.Ref(k) = v }
 
 // Delete removes k. Deleting an absent key is a no-op. Leaves are kept for
 // reuse; Reset releases everything.
+//
+//thynvm:hotpath
 func (t *Table[V]) Delete(k uint64) {
 	hi := k >> leafBits
 	l := t.memo

@@ -181,6 +181,8 @@ func (m *Machine) Compute(n uint64) {
 
 // Read performs a load of len(buf) bytes at addr, split into block-sized
 // cache accesses.
+//
+//thynvm:hotpath
 func (m *Machine) Read(addr uint64, buf []byte) {
 	m.poll()
 	for len(buf) > 0 {
@@ -197,6 +199,8 @@ func (m *Machine) Read(addr uint64, buf []byte) {
 
 // Write performs a store of data at addr, split into block-sized cache
 // accesses.
+//
+//thynvm:hotpath
 func (m *Machine) Write(addr uint64, data []byte) {
 	m.poll()
 	for len(data) > 0 {
@@ -213,6 +217,8 @@ func (m *Machine) Write(addr uint64, data []byte) {
 
 // Peek reads the software-visible memory image without advancing time,
 // including data still dirty in the caches (what a program would load).
+//
+//thynvm:hotpath
 func (m *Machine) Peek(addr uint64, buf []byte) {
 	var block [mem.BlockSize]byte
 	for len(buf) > 0 {

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	thynvm-recover [-system thynvm] [-tx 3000] [-store hash|rbtree]
+//	thynvm-recover -metrics-out m.json -trace-out t.jsonl
+//
+// With -metrics-out / -trace-out a telemetry recorder observes the whole
+// crash-recovery cycle: the trace file carries the structured event log
+// plus span/attribution records (including the post-crash recovery-replay
+// span; analyze with thynvm-prof), in JSONL or Chrome trace-event format
+// per -trace-format.
 package main
 
 import (
@@ -14,11 +21,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
 	"thynvm"
+	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 type app struct {
@@ -68,6 +78,24 @@ type usageError struct{ err error }
 func (u usageError) Error() string { return u.err.Error() }
 func (u usageError) Unwrap() error { return u.err }
 
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// writeOut creates path and streams write into it, closing the file on both
+// the success and error paths.
+func writeOut(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // main only maps run's error to an exit status, so any deferred cleanup
 // inside run always executes (os.Exit would skip it).
 func main() {
@@ -85,8 +113,14 @@ func run() error {
 	system := flag.String("system", "thynvm", "memory system")
 	tx := flag.Int("tx", 3000, "transactions before the crash")
 	storeKind := flag.String("store", "hash", "store type: hash or rbtree")
+	metricsOut := flag.String("metrics-out", "", "write per-epoch time series + latency histograms (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the structured event log + span records to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "event log format: jsonl or chrome (Perfetto-loadable trace events)")
 	flag.Parse()
 
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		return usagef("unknown -trace-format %q (jsonl|chrome)", *traceFormat)
+	}
 	kind, err := thynvm.ParseSystem(*system)
 	if err != nil {
 		return usageError{err}
@@ -96,6 +130,37 @@ func run() error {
 	// get several checkpoints within the short simulated run.
 	opts.EpochLen = 10 * time.Microsecond
 	sys := thynvm.MustNewSystem(kind, opts)
+
+	var col *obs.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = obs.NewCollector()
+		sys.SetRecorder(col)
+	}
+	// writeTelemetry exports the collected telemetry; called on every
+	// success path (recovery verified, or cold restart).
+	writeTelemetry := func() error {
+		if col == nil {
+			return nil
+		}
+		if *traceOut != "" {
+			err := writeOut(*traceOut, func(w io.Writer) error {
+				if *traceFormat == "chrome" {
+					return col.WriteChromeTrace(w, mem.CyclesPerNs*1000)
+				}
+				if err := col.WriteJSONL(w); err != nil {
+					return err
+				}
+				return col.WriteSpanJSONL(w)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			return writeOut(*metricsOut, col.WriteMetricsJSON)
+		}
+		return nil
+	}
 
 	a := &app{sys: sys, isTree: *storeKind == "rbtree"}
 	var arena *thynvm.KVArena
@@ -160,7 +225,7 @@ func run() error {
 	}
 	if !had {
 		fmt.Println("no checkpoint had committed; system restarted from the initial image")
-		return nil
+		return writeTelemetry()
 	}
 	fmt.Printf("recovered to epoch boundary at transaction %d\n", a.applied)
 
@@ -181,5 +246,5 @@ func run() error {
 	fmt.Printf("verified: all %d keys match the committed epoch snapshot exactly (store len %d)\n",
 		len(snap), n)
 	fmt.Println("OK — crash consistency held with zero application-side persistence code")
-	return nil
+	return writeTelemetry()
 }

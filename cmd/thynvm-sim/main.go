@@ -17,11 +17,13 @@
 //
 // With -metrics-out / -trace-out a telemetry recorder is attached per run:
 // per-epoch time series and latency histograms go to the metrics file, the
-// structured event log to the trace file (JSONL, or Chrome trace-event
-// JSON loadable in Perfetto with -trace-format chrome). When several
-// systems are listed, the system name is inserted before the file
-// extension (metrics.json -> metrics.thynvm.json). All telemetry is keyed
-// on simulated cycles, so same-seed runs produce byte-identical files.
+// structured event log plus span/attribution records (analyzable with
+// thynvm-prof) to the trace file (JSONL, or Chrome trace-event JSON
+// loadable in Perfetto with -trace-format chrome; each run gets a distinct
+// trace pid). When several systems are listed, the system name is inserted
+// before the file extension (metrics.json -> metrics.thynvm.json). All
+// telemetry is keyed on simulated cycles, so same-seed runs produce
+// byte-identical files.
 package main
 
 import (
@@ -186,9 +188,15 @@ func run() error {
 			path := perSystemPath(*traceOut, kinds[i], len(kinds) > 1)
 			err := writeOut(path, func(w io.Writer) error {
 				if *traceFormat == "chrome" {
+					// Distinct pid per run so traces from one -parallel
+					// invocation can be merged without interleaving.
+					out.col.SetTraceIdentity(i+1, kinds[i].String())
 					return out.col.WriteChromeTrace(w, mem.CyclesPerNs*1000)
 				}
-				return out.col.WriteJSONL(w)
+				if err := out.col.WriteJSONL(w); err != nil {
+					return err
+				}
+				return out.col.WriteSpanJSONL(w)
 			})
 			if err != nil {
 				return err

@@ -63,6 +63,7 @@ func (s *Ideal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	checkAccess(s.cfg.PhysBytes, addr, len(data))
 	s.anyWork = true
 	ack := s.dev.Write(now, addr, data, mem.SrcCPU)
+	s.tele.StallSpan(now, ack, obs.CauseQueueFull)
 	if s.tele.On() {
 		s.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
 	}
@@ -93,6 +94,9 @@ func (s *Ideal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		rec.Event(uint64(now), obs.EvCkptComplete, epoch, 0)
 		rec.Latency(obs.HistCkptDrain, 0)
 		rec.Event(uint64(now), obs.EvEpochBegin, epoch+1, 0)
+		// Checkpointing is free: the epoch root just rotates in place.
+		rec.EndSpan(obs.TrackCPU, uint64(now))
+		rec.BeginSpan(obs.TrackCPU, uint64(now), obs.SpanEpoch, obs.CauseExec, epoch+1)
 		s.tele.Sample(ctl.EpochMeta{Epoch: epoch, Start: epochStart, End: now}, s.Stats())
 	}
 	return now

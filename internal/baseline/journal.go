@@ -99,6 +99,7 @@ func (j *Journal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle 
 		}
 	}
 	ack := j.dram.Write(now, slot, data, mem.SrcCPU)
+	j.tele.StallSpan(now, ack, obs.CauseQueueFull)
 	if j.tele.On() {
 		j.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
 	}
@@ -202,6 +203,17 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		rec.Event(uint64(applyDone), obs.EvCkptComplete, epoch, drain)
 		rec.Latency(obs.HistCkptDrain, drain)
 		rec.Event(uint64(applyDone), obs.EvEpochBegin, epoch+1, 0)
+		// Journaling is stop-the-world: the whole journal write + apply is
+		// in-line staging on the CPU track, mirrored on the checkpoint
+		// track so the (zero) overlap is visible on the timeline.
+		rec.BeginSpan(obs.TrackCkpt, uint64(start), obs.SpanCkptDrain, obs.CauseCkptDrain, epoch)
+		rec.BeginSpan(obs.TrackCkpt, uint64(start), obs.SpanTablePersist, obs.CauseCkptDrain, uint64(len(blob)))
+		rec.EndSpan(obs.TrackCkpt, uint64(blobDone))
+		rec.EndSpan(obs.TrackCkpt, uint64(applyDone))
+		rec.BeginSpan(obs.TrackCPU, uint64(start), obs.SpanCkptStage, obs.CauseCkptStage, 0)
+		rec.EndSpan(obs.TrackCPU, uint64(applyDone))
+		rec.EndSpan(obs.TrackCPU, uint64(applyDone))
+		rec.BeginSpan(obs.TrackCPU, uint64(applyDone), obs.SpanEpoch, obs.CauseExec, epoch+1)
 		j.tele.Sample(ctl.EpochMeta{
 			Epoch:       epoch,
 			Start:       epochStart,

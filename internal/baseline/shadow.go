@@ -172,6 +172,7 @@ func (s *Shadow) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 		s.overflow = true // ask for an epoch-boundary flush before we force one
 	}
 	ack := s.dram.Write(now, p.dramAddr+off, data, mem.SrcCPU)
+	s.tele.StallSpan(now, ack, obs.CauseQueueFull)
 	if s.tele.On() {
 		s.tele.Rec().Latency(obs.HistBlockWrite, uint64(ack-now))
 	}
@@ -248,12 +249,20 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 	s.stats.Commits++
 	if ckptStall {
 		s.stats.CkptStall += commitDone - start
+		// Mid-epoch flush forced by buffer pressure: the store that
+		// triggered it stalls for the whole stop-the-world flush.
+		s.tele.StallSpan(start, commitDone, obs.CauseWriteBuffer)
 	}
 	s.stats.CkptBusy += commitDone - start
 	if s.tele.On() {
 		drain := uint64(commitDone - start)
-		s.tele.Rec().Event(uint64(commitDone), obs.EvCkptComplete, epoch, drain)
-		s.tele.Rec().Latency(obs.HistCkptDrain, drain)
+		rec := s.tele.Rec()
+		rec.Event(uint64(commitDone), obs.EvCkptComplete, epoch, drain)
+		rec.Latency(obs.HistCkptDrain, drain)
+		rec.BeginSpan(obs.TrackCkpt, uint64(start), obs.SpanCkptDrain, obs.CauseCkptDrain, epoch)
+		rec.BeginSpan(obs.TrackCkpt, uint64(start), obs.SpanTablePersist, obs.CauseCkptDrain, uint64(len(blob)))
+		rec.EndSpan(obs.TrackCkpt, uint64(blobDone))
+		rec.EndSpan(obs.TrackCkpt, uint64(commitDone))
 	}
 	return commitDone
 }
@@ -314,6 +323,11 @@ func (s *Shadow) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	s.stats.Epochs++
 	s.epochSt = done
 	if s.tele.On() {
+		rec := s.tele.Rec()
+		rec.BeginSpan(obs.TrackCPU, uint64(now), obs.SpanCkptStage, obs.CauseCkptStage, 0)
+		rec.EndSpan(obs.TrackCPU, uint64(done))
+		rec.EndSpan(obs.TrackCPU, uint64(done))
+		rec.BeginSpan(obs.TrackCPU, uint64(done), obs.SpanEpoch, obs.CauseExec, s.stats.Epochs)
 		s.tele.Rec().Event(uint64(done), obs.EvEpochBegin, s.stats.Epochs, 0)
 		s.tele.Sample(ctl.EpochMeta{
 			Epoch:      epoch,

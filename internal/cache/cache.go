@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Backend is the memory system beneath the cache hierarchy. Addresses are
@@ -129,6 +130,11 @@ type Hierarchy struct {
 	// single-threaded and backend calls never reenter it, so one buffer
 	// keeps the access path allocation-free.
 	scratch [mem.BlockSize]byte
+
+	// Telemetry: miss fills and memory writebacks become spans on the
+	// cache track when recOn (cached flag; detached costs one branch).
+	rec   obs.Recorder
+	recOn bool
 }
 
 // NewHierarchy builds a hierarchy with the given level specs (outermost
@@ -148,6 +154,13 @@ func NewHierarchy(back Backend, specs ...LevelSpec) *Hierarchy {
 // Default returns the paper's three-level hierarchy over back.
 func Default(back Backend) *Hierarchy {
 	return NewHierarchy(back, L1Spec(), L2Spec(), L3Spec())
+}
+
+// SetRecorder attaches a telemetry recorder; memory-level miss fills and
+// writebacks are emitted as spans on the cache track. Pass nil to detach.
+func (h *Hierarchy) SetRecorder(r obs.Recorder) {
+	h.rec = r
+	h.recOn = r != nil && r.Enabled()
 }
 
 // Stats returns per-level statistics keyed by level name, in order.
@@ -203,6 +216,16 @@ func (h *Hierarchy) fetch(now mem.Cycle, li int, block uint64, buf []byte) mem.C
 		return now
 	}
 	l.stats.Misses++
+	if h.recOn && li == len(h.levels)-1 {
+		// The last-level miss window is the fill that actually reaches
+		// the memory controller; inner-level misses nest inside it and
+		// would only repeat the same interval.
+		h.rec.BeginSpan(obs.TrackCache, uint64(now), obs.SpanCacheFetch, obs.CauseExec, block)
+		done := h.fetch(now, li+1, block, buf)
+		h.rec.EndSpan(obs.TrackCache, uint64(done))
+		h.install(done, li, block, buf, false)
+		return done
+	}
 	done := h.fetch(now, li+1, block, buf)
 	h.install(done, li, block, buf, false)
 	return done
@@ -243,6 +266,12 @@ func (h *Hierarchy) writeBelow(now mem.Cycle, li int, block uint64, data []byte)
 	// allocate in lower levels on eviction; this keeps the hierarchy
 	// simple and slightly exclusive, which does not affect the
 	// consistency schemes under study.)
+	if h.recOn {
+		h.rec.BeginSpan(obs.TrackCache, uint64(now), obs.SpanCacheWriteback, obs.CauseExec, block)
+		ack := h.back.WriteBlock(now, block*mem.BlockSize, data)
+		h.rec.EndSpan(obs.TrackCache, uint64(ack))
+		return
+	}
 	h.back.WriteBlock(now, block*mem.BlockSize, data)
 }
 

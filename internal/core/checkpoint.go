@@ -63,6 +63,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		// is draining; stall until the commit applies. (The caller
 		// observes this stall in the returned resume cycle.)
 		if c.commitDone > now {
+			c.tele.StallSpan(now, c.commitDone, obs.CauseCkptDrain)
 			now = c.commitDone
 		}
 		c.finalize()
@@ -238,6 +239,18 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		}
 		rec.Event(uint64(resume), obs.EvCkptDrain, epoch, drain)
 		rec.Event(uint64(resume), obs.EvEpochBegin, c.epochID, 0)
+		// Background track: the drain window opens at the begin instant
+		// (closed in finalize at commitDone) with the table/state persist
+		// nested inside it. CPU track: the in-line staging span, then the
+		// epoch root rotates at the resume boundary so consecutive
+		// attribution rows tile the run.
+		rec.BeginSpan(obs.TrackCkpt, uint64(c.ckptStart), obs.SpanCkptDrain, obs.CauseCkptDrain, epoch)
+		rec.BeginSpan(obs.TrackCkpt, uint64(c.ckptStart), obs.SpanTablePersist, obs.CauseCkptDrain, uint64(len(blob)))
+		rec.EndSpan(obs.TrackCkpt, uint64(blobDone))
+		rec.BeginSpan(obs.TrackCPU, uint64(c.ckptStart), obs.SpanCkptStage, obs.CauseCkptStage, 0)
+		rec.EndSpan(obs.TrackCPU, uint64(resume))
+		rec.EndSpan(obs.TrackCPU, uint64(resume))
+		rec.BeginSpan(obs.TrackCPU, uint64(resume), obs.SpanEpoch, obs.CauseExec, c.epochID)
 		// The epoch sample is the last thing emitted: its deltas cover
 		// everything the closing epoch and its staging phase wrote, so the
 		// series sums to the cumulative Stats at this instant.
@@ -260,6 +273,12 @@ func (c *Controller) DrainCheckpoint(now mem.Cycle) mem.Cycle {
 	c.sync(now)
 	if c.ckptInFlight {
 		if c.commitDone > now {
+			// The caller's CPU blocks until commit: attribute the wait as
+			// an explicit foreground drain on the CPU track.
+			if c.tele.On() {
+				c.tele.Rec().BeginSpan(obs.TrackCPU, uint64(now), obs.SpanDeviceDrain, obs.CauseCkptDrain, 0)
+				c.tele.Rec().EndSpan(obs.TrackCPU, uint64(c.commitDone))
+			}
 			now = c.commitDone
 		}
 		c.finalize()
@@ -283,6 +302,9 @@ func (c *Controller) finalize() {
 		drain := uint64(c.commitDone - c.ckptStart)
 		c.tele.Rec().Event(uint64(c.commitDone), obs.EvCkptComplete, c.ckptEpoch, drain)
 		c.tele.Rec().Latency(obs.HistCkptDrain, drain)
+		// Close the background drain window opened at BeginCheckpoint (a
+		// no-op when the recorder attached mid-drain).
+		c.tele.Rec().EndSpan(obs.TrackCkpt, uint64(c.commitDone))
 	}
 	at := c.commitDone
 

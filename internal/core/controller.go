@@ -5,6 +5,7 @@ import (
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 	"thynvm/internal/radix"
 )
 
@@ -259,6 +260,16 @@ func (c *Controller) lookupLatency() mem.Cycle {
 	return lat
 }
 
+// chargeLookup advances now by the table lookup cost, attributing the
+// spilled-table penalty (the portion beyond the base lookup) to BTTMiss.
+func (c *Controller) chargeLookup(now mem.Cycle) mem.Cycle {
+	lat := c.lookupLatency()
+	if lat > mem.TableLookup {
+		c.tele.StallSpan(now+mem.TableLookup, now+lat, obs.CauseBTTMiss)
+	}
+	return now + lat
+}
+
 // ---- sync / access paths ----
 
 // sync applies a completed checkpoint commit, if any.
@@ -281,7 +292,7 @@ func (c *Controller) checkAccess(addr uint64, n int) {
 func (c *Controller) readBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 	c.checkAccess(addr, len(buf))
 	c.sync(now)
-	now += c.lookupLatency()
+	now = c.chargeLookup(now)
 	pageIdx := mem.PageIndex(addr)
 	if pe, ok := c.pages.Get(pageIdx); ok && !pe.dying {
 		if c.cfg.Mode == ModePageRemap {
@@ -309,7 +320,7 @@ func (c *Controller) readBlock(now mem.Cycle, addr uint64, buf []byte) mem.Cycle
 func (c *Controller) writeBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	c.checkAccess(addr, len(data))
 	c.sync(now)
-	now += c.lookupLatency()
+	now = c.chargeLookup(now)
 	pageIdx := mem.PageIndex(addr)
 	if c.cfg.Mode == ModeDual {
 		(*c.pageStores.Ref(pageIdx))++
@@ -378,16 +389,21 @@ func (c *Controller) writeViaPage(now mem.Cycle, pe *pageEntry, addr uint64, dat
 				c.allocOverlayEntry(blockIdx, pe.phys)
 			}
 			pe.dirty = true
-			return c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+			ack := c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+			c.tele.StallSpan(now, ack, obs.CauseQueueFull)
+			return ack
 		}
 		// Without cooperation the store stalls until the writeback
 		// completes (this is the stall Figure 8 attributes to
 		// checkpointing in single-scheme designs).
 		c.stats.CkptStall += pe.flushDone - now
+		c.tele.StallSpan(now, pe.flushDone, obs.CauseWriteBuffer)
 		now = pe.flushDone
 	}
 	pe.dirty = true
-	return c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+	ack := c.dram.Write(now, pe.dramAddr+off, data, mem.SrcCPU)
+	c.tele.StallSpan(now, ack, obs.CauseQueueFull)
+	return ack
 }
 
 // writeViaBlock services a store through the block remapping scheme.
@@ -404,6 +420,7 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 		for c.blocks.Len() >= 2*c.cfg.BTTEntries && c.ckptInFlight {
 			if c.commitDone > now {
 				c.stats.CkptStall += c.commitDone - now
+				c.tele.StallSpan(now, c.commitDone, obs.CauseCkptDrain)
 				now = c.commitDone
 			}
 			c.finalize()
@@ -454,12 +471,15 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 
 	switch be.active {
 	case activeDRAM:
-		return c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+		ack := c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+		c.tele.StallSpan(now, ack, obs.CauseQueueFull)
+		return ack
 	case activeNVM:
 		ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
 		if done > c.execWriteMaxDone {
 			c.execWriteMaxDone = done
 		}
+		c.tele.StallSpan(now, ack, obs.CauseQueueFull)
 		return ack
 	}
 	// First store of the epoch to this block.
@@ -475,13 +495,16 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 		if c.cfg.Mode != ModeBlockWriteback {
 			c.stats.BufferedBlockWrites++
 		}
-		return c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+		ack := c.dram.Write(now, be.bufAddr, data, mem.SrcCPU)
+		c.tele.StallSpan(now, ack, obs.CauseQueueFull)
+		return ack
 	}
 	be.active = activeNVM
 	ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
 	if done > c.execWriteMaxDone {
 		c.execWriteMaxDone = done
 	}
+	c.tele.StallSpan(now, ack, obs.CauseQueueFull)
 	return ack
 }
 
@@ -513,6 +536,7 @@ func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, 
 			// store must wait for the in-flight commit.
 			if c.commitDone > now {
 				c.stats.CkptStall += c.commitDone - now
+				c.tele.StallSpan(now, c.commitDone, obs.CauseCkptDrain)
 				now = c.commitDone
 			}
 			c.finalize()
@@ -534,6 +558,7 @@ func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, 
 	if done > c.execWriteMaxDone {
 		c.execWriteMaxDone = done
 	}
+	c.tele.StallSpan(now, ack, obs.CauseQueueFull)
 	return ack
 }
 

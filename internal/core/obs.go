@@ -16,6 +16,11 @@ func (c *Controller) SetRecorder(r obs.Recorder) {
 	c.nvm.SetRecorder(r, obs.HistNVMRead, obs.HistNVMWrite)
 	c.dram.SetRecorder(r, obs.HistDRAMRead, obs.HistDRAMWrite)
 	c.tele.Attach(r, c.Stats())
+	if c.tele.On() {
+		// Open the current epoch's root span; every later epoch root is
+		// rotated at the checkpoint boundary in BeginCheckpoint.
+		r.BeginSpan(obs.TrackCPU, uint64(c.epochStart), obs.SpanEpoch, obs.CauseExec, c.epochID)
+	}
 }
 
 // ReadBlock implements ctl.Controller, recording the end-to-end block read

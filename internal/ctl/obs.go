@@ -66,6 +66,19 @@ func (es *EpochSampler) Rec() obs.Recorder { return es.rec }
 // sample does not underflow against pre-reset cumulative counters.
 func (es *EpochSampler) Rebase(cur Stats) { es.prev = cur }
 
+// StallSpan emits one in-line CPU stall span [start, end) attributed to
+// cause. Zero-length and inverted intervals are dropped, so call sites
+// can pass raw (now, ack) pairs without checking.
+//
+//thynvm:hotpath
+func (es *EpochSampler) StallSpan(start, end mem.Cycle, cause obs.Cause) {
+	if !es.on || end <= start {
+		return
+	}
+	es.rec.BeginSpan(obs.TrackCPU, uint64(start), obs.SpanStall, cause, 0)
+	es.rec.EndSpan(obs.TrackCPU, uint64(end))
+}
+
 // Sample emits one per-epoch time-series point: meta plus the deltas of
 // cur against the previous sample's cumulative stats.
 func (es *EpochSampler) Sample(meta EpochMeta, cur Stats) {

@@ -64,6 +64,7 @@ type Device struct {
 	recOn     bool
 	readHist  obs.HistID
 	writeHist obs.HistID
+	track     obs.TrackID
 }
 
 // NewDevice creates a device with the given spec and empty contents.
@@ -99,6 +100,10 @@ func (d *Device) SetRecorder(r obs.Recorder, readHist, writeHist obs.HistID) {
 	d.rec = r
 	d.recOn = r != nil && r.Enabled()
 	d.readHist, d.writeHist = readHist, writeHist
+	d.track = obs.TrackNVM
+	if readHist == obs.HistDRAMRead {
+		d.track = obs.TrackDRAM
+	}
 }
 
 // Stats returns a copy of the device's counters.
@@ -327,6 +332,11 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 			ack = d.minDone
 		}
 		d.settle(ack)
+		if d.recOn && ack > now {
+			// Queue-full backpressure, visible on the device's own track.
+			d.rec.BeginSpan(d.track, uint64(now), obs.SpanStall, obs.CauseQueueFull, addr)
+			d.rec.EndSpan(d.track, uint64(ack))
+		}
 	}
 	start := ack
 	if issueAt > start {

@@ -8,6 +8,22 @@ type Collector struct {
 	Events []Event
 	Epochs []EpochSample
 	Hists  [NumHists]Histogram
+
+	// Spans holds completed spans in completion order (see retainSpan for
+	// which kinds are kept individually); Attrib holds the per-epoch
+	// cycle-attribution rows; Agg is the (track, kind, cause) aggregate.
+	Spans  []Span
+	Attrib []EpochAttrib
+	Agg    [NumTracks][NumSpanKinds][NumCauses]AggCell
+
+	stacks  [NumTracks][]spanFrame
+	row     EpochAttrib
+	rowOpen bool
+
+	// tracePID/traceName are the Chrome-trace process identity
+	// (SetTraceIdentity); zero values render as pid 1, "thynvm".
+	tracePID  int
+	traceName string
 }
 
 // NewCollector returns an empty collector.
@@ -40,6 +56,14 @@ func (c *Collector) Reset() {
 	c.Events = c.Events[:0]
 	c.Epochs = c.Epochs[:0]
 	c.Hists = [NumHists]Histogram{}
+	c.Spans = c.Spans[:0]
+	c.Attrib = c.Attrib[:0]
+	c.Agg = [NumTracks][NumSpanKinds][NumCauses]AggCell{}
+	for t := range c.stacks {
+		c.stacks[t] = c.stacks[t][:0]
+	}
+	c.row = EpochAttrib{}
+	c.rowOpen = false
 }
 
 // SumEpochs adds up the delta fields of every recorded epoch sample; tests

@@ -22,25 +22,127 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteSpanJSONL writes the span stream as JSON Lines, appended after the
+// event log in -trace-out files. Three record types, distinguished by
+// their single top-level key:
+//
+//	{"span": {...}}   one completed span, in completion order
+//	{"attrib": {...}} one per-epoch cycle-attribution row
+//	{"agg": {...}}    one non-zero (track, kind, cause) aggregate cell
+//
+// Output is byte-identical across same-seed runs: spans complete in
+// deterministic order and aggregate cells are walked in fixed enum order.
+func (c *Collector) WriteSpanJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range c.Spans {
+		if _, err := fmt.Fprintf(bw,
+			"{\"span\":{\"track\":%q,\"kind\":%q,\"cause\":%q,\"start\":%d,\"end\":%d,\"self\":%d,\"epoch\":%d,\"arg\":%d,\"depth\":%d}}\n",
+			s.Track.String(), s.Kind.String(), s.Cause.String(),
+			s.Start, s.End, s.Self, s.Epoch, s.Arg, s.Depth); err != nil {
+			return err
+		}
+	}
+	for i := range c.Attrib {
+		r := &c.Attrib[i]
+		if _, err := fmt.Fprintf(bw,
+			"{\"attrib\":{\"epoch\":%d,\"start\":%d,\"end\":%d,\"cycles\":{",
+			r.Epoch, r.Start, r.End); err != nil {
+			return err
+		}
+		for cs := Cause(0); cs < NumCauses; cs++ {
+			if cs > 0 {
+				bw.WriteString(",")
+			}
+			fmt.Fprintf(bw, "%q:%d", cs.String(), r.Cycles[cs])
+		}
+		if _, err := io.WriteString(bw, "}}}\n"); err != nil {
+			return err
+		}
+	}
+	for t := TrackID(0); t < NumTracks; t++ {
+		for k := SpanKind(0); k < NumSpanKinds; k++ {
+			for cs := Cause(0); cs < NumCauses; cs++ {
+				cell := c.Agg[t][k][cs]
+				if cell.Count == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(bw,
+					"{\"agg\":{\"track\":%q,\"kind\":%q,\"cause\":%q,\"count\":%d,\"total_cycles\":%d,\"self_cycles\":%d}}\n",
+					t.String(), k.String(), cs.String(),
+					cell.Count, cell.Total, cell.Self); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 // chromeTS renders a cycle count as a Chrome trace timestamp (microseconds,
 // three decimals) given the clock rate in cycles per microsecond.
 func chromeTS(cycle uint64, cyclesPerUs float64) string {
 	return strconv.FormatFloat(float64(cycle)/cyclesPerUs, 'f', 3, 64)
 }
 
+// SetTraceIdentity assigns the Chrome-trace process identity for this
+// collector's run: pid and the process_name metadata. Harnesses that write
+// several runs' traces (e.g. -parallel sweeps) give each run a distinct
+// pid so merged traces keep their tracks separate. The default identity is
+// pid 1, name "thynvm".
+func (c *Collector) SetTraceIdentity(pid int, name string) {
+	c.tracePID = pid
+	c.traceName = name
+}
+
+// Chrome-trace tid assignments, stable and documented (DESIGN.md §10):
+// every component gets its own thread row within the run's process.
+const (
+	chromeTidEpochs = 1 + iota // CPU track: epoch root spans
+	chromeTidCPU               // CPU track: nested stall/flush/stage spans
+	chromeTidCkpt              // checkpoint engine: drain + persist spans
+	chromeTidNVM               // NVM device stalls
+	chromeTidDRAM              // DRAM device stalls
+	chromeTidCache             // cache fill/writeback spans
+	chromeTidEvents            // instant events (forced ckpt, migrations)
+)
+
+// chromeTid maps a non-CPU span track to its thread row.
+var chromeTrackTids = [NumTracks]int{
+	TrackCPU:   chromeTidCPU,
+	TrackCkpt:  chromeTidCkpt,
+	TrackNVM:   chromeTidNVM,
+	TrackDRAM:  chromeTidDRAM,
+	TrackCache: chromeTidCache,
+}
+
 // WriteChromeTrace writes the recorded run in Chrome trace-event format
 // (the JSON object form, loadable directly in Perfetto or chrome://tracing).
 // cyclesPerUs converts simulated cycles to trace microseconds (3000 for the
-// simulator's 3 GHz clock). Tracks:
+// simulator's 3 GHz clock).
 //
-//	tid 1 "epochs"      — one complete (X) slice per execution epoch
-//	tid 2 "checkpoints" — one slice per checkpoint, begin to durable commit
-//	tid 3 "events"      — instants: forced checkpoints, migrations, flushes
-//	counters            — btt/ptt occupancy, dirty pages, NVM bytes/source
+// All events carry the pid set by SetTraceIdentity (default 1), so traces
+// from parallel runs concatenate without interleaving tracks. Thread rows
+// within the process are fixed:
+//
+//	tid 1 "cpu: epochs"       — one complete (X) slice per execution epoch
+//	tid 2 "cpu: stalls"       — nested CPU spans (flush, stage, stalls)
+//	tid 3 "ckpt: background"  — drain windows and table persists
+//	tid 4 "nvm"/5 "dram"      — device queue stalls
+//	tid 6 "cache"             — fill and writeback windows
+//	tid 7 "events"            — instants: forced ckpts, migrations, flushes
+//	counters                  — btt/ptt occupancy, NVM bytes by source
 func (c *Collector) WriteChromeTrace(w io.Writer, cyclesPerUs float64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
+	}
+	pid := c.tracePID
+	if pid == 0 {
+		pid = 1
+	}
+	procName := c.traceName
+	if procName == "" {
+		procName = "thynvm"
 	}
 	first := true
 	emit := func(line string) {
@@ -51,40 +153,45 @@ func (c *Collector) WriteChromeTrace(w io.Writer, cyclesPerUs float64) error {
 		bw.WriteString(line)
 	}
 	meta := func(name, what string, tid int) {
-		emit(fmt.Sprintf("{\"name\":%q,\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}", what, tid, name))
+		emit(fmt.Sprintf("{\"name\":%q,\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%q}}", what, pid, tid, name))
 	}
-	meta("thynvm", "process_name", 0)
-	meta("epochs", "thread_name", 1)
-	meta("checkpoints", "thread_name", 2)
-	meta("events", "thread_name", 3)
+	meta(procName, "process_name", 0)
+	meta("cpu: epochs", "thread_name", chromeTidEpochs)
+	meta("cpu: stalls", "thread_name", chromeTidCPU)
+	meta("ckpt: background", "thread_name", chromeTidCkpt)
+	meta("nvm", "thread_name", chromeTidNVM)
+	meta("dram", "thread_name", chromeTidDRAM)
+	meta("cache", "thread_name", chromeTidCache)
+	meta("events", "thread_name", chromeTidEvents)
+
+	// Real duration slices from the span stream, with cause annotations.
+	// Epoch roots get their own row; everything else lands on its track's
+	// row, where nesting renders as stacked slices.
+	for _, s := range c.Spans {
+		tid := chromeTrackTids[s.Track]
+		name := s.Kind.String()
+		if s.Track == TrackCPU && s.Kind == SpanEpoch && s.Depth == 0 {
+			tid = chromeTidEpochs
+			name = fmt.Sprintf("epoch %d", s.Arg)
+		}
+		emit(fmt.Sprintf("{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"cause\":%q,\"self_cycles\":%d,\"epoch\":%d,\"arg\":%d}}",
+			name, s.Track.String(), chromeTS(s.Start, cyclesPerUs),
+			chromeTS(s.End-s.Start, cyclesPerUs), pid, tid,
+			s.Cause.String(), s.Self, s.Epoch, s.Arg))
+	}
 
 	for _, s := range c.Epochs {
-		emit(fmt.Sprintf("{\"name\":\"epoch %d\",\"cat\":\"epoch\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{\"dirty_blocks\":%d,\"dirty_pages\":%d,\"forced\":%t}}",
-			s.Epoch, chromeTS(s.Start, cyclesPerUs), chromeTS(s.End-s.Start, cyclesPerUs),
-			s.DirtyBlocks, s.DirtyPages, s.Forced))
-		emit(fmt.Sprintf("{\"name\":\"tables\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"btt_live\":%d,\"ptt_live\":%d}}",
-			chromeTS(s.End, cyclesPerUs), s.BTTLive, s.PTTLive))
-		emit(fmt.Sprintf("{\"name\":\"nvm_bytes\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"cpu\":%d,\"checkpoint\":%d,\"migration\":%d}}",
-			chromeTS(s.End, cyclesPerUs), s.NVMBySource[0], s.NVMBySource[1], s.NVMBySource[2]))
+		emit(fmt.Sprintf("{\"name\":\"tables\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"args\":{\"btt_live\":%d,\"ptt_live\":%d}}",
+			chromeTS(s.End, cyclesPerUs), pid, s.BTTLive, s.PTTLive))
+		emit(fmt.Sprintf("{\"name\":\"nvm_bytes\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"args\":{\"cpu\":%d,\"checkpoint\":%d,\"migration\":%d}}",
+			chromeTS(s.End, cyclesPerUs), pid, s.NVMBySource[0], s.NVMBySource[1], s.NVMBySource[2]))
 	}
 
-	// Checkpoint slices are reconstructed by pairing begin/complete events
-	// on epoch id; iteration follows the event log, so output order is
-	// deterministic.
-	ckptBegin := make(map[uint64]uint64)
 	for _, e := range c.Events {
 		switch e.Kind {
-		case EvCkptBegin:
-			ckptBegin[e.A] = e.Cycle
-		case EvCkptComplete:
-			if begin, ok := ckptBegin[e.A]; ok {
-				delete(ckptBegin, e.A)
-				emit(fmt.Sprintf("{\"name\":\"checkpoint %d\",\"cat\":\"ckpt\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":2,\"args\":{\"drain_cycles\":%d}}",
-					e.A, chromeTS(begin, cyclesPerUs), chromeTS(e.Cycle-begin, cyclesPerUs), e.B))
-			}
 		case EvCkptForced, EvMigrationIn, EvMigrationOut, EvCacheFlush:
-			emit(fmt.Sprintf("{\"name\":%q,\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":1,\"tid\":3,\"args\":{\"a\":%d,\"b\":%d}}",
-				e.Kind.String(), chromeTS(e.Cycle, cyclesPerUs), e.A, e.B))
+			emit(fmt.Sprintf("{\"name\":%q,\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}",
+				e.Kind.String(), chromeTS(e.Cycle, cyclesPerUs), pid, chromeTidEvents, e.A, e.B))
 		}
 	}
 	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {

@@ -50,6 +50,61 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Merge folds histogram o into h: counts, sums, and buckets add, and the
+// min/max range widens to cover both. Merging an empty histogram is a
+// no-op; merging into an empty one copies o.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0, 1]):
+// the inclusive upper bound of the bucket holding the rank-⌈p·Count⌉
+// observation, clamped to the observed Max. Returns 0 when the histogram
+// is empty. The log2 buckets make this exact to within one power of two.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(h.Count))
+	if float64(rank) < p*float64(h.Count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			_, hi := BucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
 // BucketBounds returns the inclusive value range [lo, hi] covered by bucket
 // i. Bucket 0 is [0, 0]; the last bucket's hi is the maximum uint64.
 func BucketBounds(i int) (lo, hi uint64) {

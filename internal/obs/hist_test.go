@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestHistogramEmptyExport: an all-empty collector must still export every
+// histogram with zero counts, valid bounds, and no NaNs.
+func TestHistogramEmptyExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms []struct {
+			Name  string  `json:"name"`
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+			Min   uint64  `json:"min"`
+			Max   uint64  `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty metrics JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(doc.Histograms) != int(NumHists) {
+		t.Fatalf("got %d histograms, want %d", len(doc.Histograms), NumHists)
+	}
+	for _, h := range doc.Histograms {
+		if h.Count != 0 || h.Mean != 0 || h.Min != 0 || h.Max != 0 {
+			t.Fatalf("empty histogram %q exported non-zero stats: %+v", h.Name, h)
+		}
+	}
+	var empty Histogram
+	if got := empty.Percentile(0.99); got != 0 {
+		t.Fatalf("empty percentile = %d, want 0", got)
+	}
+}
+
+func TestHistogramMergeSingleBucket(t *testing.T) {
+	var a, b Histogram
+	// All observations land in one bucket ([4,7] -> bucket 3).
+	a.Observe(4)
+	a.Observe(5)
+	b.Observe(6)
+	a.Merge(&b)
+	if a.Count != 3 || a.Sum != 15 || a.Min != 4 || a.Max != 6 {
+		t.Fatalf("merged = count %d sum %d min %d max %d", a.Count, a.Sum, a.Min, a.Max)
+	}
+	if a.Buckets[3] != 3 {
+		t.Fatalf("bucket 3 = %d, want 3", a.Buckets[3])
+	}
+	for i, n := range a.Buckets {
+		if i != 3 && n != 0 {
+			t.Fatalf("stray count %d in bucket %d", n, i)
+		}
+	}
+}
+
+func TestHistogramMergeEmptyCases(t *testing.T) {
+	var a, b Histogram
+	a.Observe(100)
+	snap := a
+	a.Merge(&b) // empty source: no-op
+	if a != snap {
+		t.Fatalf("merging empty histogram changed target: %+v", a)
+	}
+	b.Merge(&a) // empty target: copies, including Min
+	if b != a {
+		t.Fatalf("merge into empty != copy: %+v vs %+v", b, a)
+	}
+	// Min must widen even when the source min is below a zero-valued target
+	// min (the empty-target guard, not a plain < compare).
+	var c Histogram
+	c.Observe(0)
+	var d Histogram
+	d.Observe(5)
+	d.Merge(&c)
+	if d.Min != 0 || d.Max != 5 || d.Count != 2 {
+		t.Fatalf("merge with zero-min source: %+v", d)
+	}
+}
+
+func TestHistogramMaxBucketOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0))            // clamps into the last bucket
+	h.Observe(1 << 50)               // also beyond the nominal range
+	h.Observe(1 << (NumBuckets - 2)) // exactly the last bucket's lo
+	if h.Buckets[NumBuckets-1] != 3 {
+		t.Fatalf("last bucket = %d, want 3", h.Buckets[NumBuckets-1])
+	}
+	if h.Max != ^uint64(0) {
+		t.Fatalf("max = %d", h.Max)
+	}
+	// Sum wraps on overflow by design (uint64 arithmetic); count stays exact.
+	if h.Count != 3 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	// Percentile upper bound is clamped to the observed max, not the
+	// bucket's ^uint64(0) bound... which here coincide.
+	if got := h.Percentile(1.0); got != ^uint64(0) {
+		t.Fatalf("p100 = %d", got)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	// 10 observations: 1..10. Buckets: {1}:1, {2,3}:2, {4..7}:4, {8..10}:3.
+	for v := uint64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0.0, 1},  // rank clamps to 1 -> bucket 1, hi 1
+		{0.1, 1},  // rank 1
+		{0.3, 3},  // rank 3 -> bucket 2, hi 3
+		{0.5, 7},  // rank 5 -> bucket 3, hi 7
+		{0.7, 7},  // rank 7 -> bucket 3
+		{0.8, 10}, // rank 8 -> bucket 4, hi 15 clamped to max 10
+		{1.0, 10},
+		{1.5, 10}, // out-of-range p clamps to 1
+		{-0.5, 1},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHistogramPercentileSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 1000 {
+			t.Fatalf("P%v = %d, want 1000 (clamped to max)", p, got)
+		}
+	}
+}

@@ -184,6 +184,12 @@ type Recorder interface {
 	Latency(h HistID, cycles uint64)
 	// EpochSample appends one per-epoch time-series point.
 	EpochSample(s EpochSample)
+	// BeginSpan opens a cycle-attribution span on a track; spans on one
+	// track must nest. See span.go for the kind/cause taxonomy.
+	BeginSpan(track TrackID, cycle uint64, kind SpanKind, cause Cause, arg uint64)
+	// EndSpan closes the innermost open span on a track; with none open
+	// it is a no-op.
+	EndSpan(track TrackID, cycle uint64)
 }
 
 // Nop is the zero-allocation default Recorder: every method is an empty
@@ -202,5 +208,11 @@ func (Nop) Latency(HistID, uint64) {}
 
 // EpochSample implements Recorder (discard).
 func (Nop) EpochSample(EpochSample) {}
+
+// BeginSpan implements Recorder (discard).
+func (Nop) BeginSpan(TrackID, uint64, SpanKind, Cause, uint64) {}
+
+// EndSpan implements Recorder (discard).
+func (Nop) EndSpan(TrackID, uint64) {}
 
 var _ Recorder = Nop{}

@@ -71,6 +71,8 @@ func TestNopRecorderAllocates0(t *testing.T) {
 		r.Latency(HistBlockRead, 120)
 		r.Event(42, EvCkptBegin, 1, 0)
 		r.EpochSample(EpochSample{Epoch: 1, Start: 0, End: 100})
+		r.BeginSpan(TrackCPU, 42, SpanStall, CauseQueueFull, 7)
+		r.EndSpan(TrackCPU, 99)
 		_ = r.Enabled()
 	})
 	if allocs != 0 {
@@ -93,10 +95,17 @@ func TestCollectorLatencyAllocates0(t *testing.T) {
 
 func sampleCollector() *Collector {
 	c := NewCollector()
+	c.BeginSpan(TrackCPU, 0, SpanEpoch, CauseExec, 0)
 	c.Event(100, EvEpochEnd, 0, 0)
 	c.Event(100, EvCkptBegin, 0, 1)
+	c.BeginSpan(TrackCkpt, 100, SpanCkptDrain, CauseCkptDrain, 0)
+	c.BeginSpan(TrackCPU, 100, SpanCkptStage, CauseCkptStage, 0)
+	c.EndSpan(TrackCPU, 109)
+	c.EndSpan(TrackCPU, 109)
+	c.BeginSpan(TrackCPU, 109, SpanEpoch, CauseExec, 1)
 	c.Event(109, EvCkptDrain, 0, 891)
 	c.Event(1000, EvCkptComplete, 0, 900)
+	c.EndSpan(TrackCkpt, 1000)
 	c.Event(109, EvEpochBegin, 1, 0)
 	c.Event(500, EvMigrationIn, 7, 0)
 	c.Latency(HistBlockRead, 120)
@@ -155,8 +164,10 @@ func TestWriteChromeTraceValidJSON(t *testing.T) {
 	var haveEpoch, haveCkpt, haveInstant bool
 	for _, e := range doc.TraceEvents {
 		switch e["cat"] {
-		case "epoch":
-			haveEpoch = true
+		case "cpu":
+			if strings.HasPrefix(e["name"].(string), "epoch ") {
+				haveEpoch = true
+			}
 		case "ckpt":
 			haveCkpt = true
 		case "event":
@@ -165,6 +176,28 @@ func TestWriteChromeTraceValidJSON(t *testing.T) {
 	}
 	if !haveEpoch || !haveCkpt || !haveInstant {
 		t.Fatalf("missing track: epoch=%t ckpt=%t instant=%t", haveEpoch, haveCkpt, haveInstant)
+	}
+	// Every event must carry the identity pid (default 1); SetTraceIdentity
+	// moves the whole run to a distinct pid so parallel traces don't
+	// interleave.
+	for _, e := range doc.TraceEvents {
+		if pid, ok := e["pid"].(float64); !ok || pid != 1 {
+			t.Fatalf("event on pid %v, want 1: %v", e["pid"], e)
+		}
+	}
+	var buf2 bytes.Buffer
+	c := sampleCollector()
+	c.SetTraceIdentity(7, "run7")
+	if err := c.WriteChromeTrace(&buf2, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf2.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace with identity is not valid JSON: %v", err)
+	}
+	for _, e := range doc.TraceEvents {
+		if pid, ok := e["pid"].(float64); !ok || pid != 7 {
+			t.Fatalf("event on pid %v after SetTraceIdentity(7): %v", e["pid"], e)
+		}
 	}
 }
 

@@ -72,6 +72,7 @@ func NewMachine(ctrl ctl.Controller, withCaches bool) *Machine {
 func (m *Machine) SetRecorder(r obs.Recorder) bool {
 	m.rec = r
 	m.recOn = r != nil && r.Enabled()
+	m.hier.SetRecorder(r)
 	return ctl.Attach(m.ctrl, r)
 }
 
@@ -150,10 +151,17 @@ func (m *Machine) CheckpointIfDue() {
 // checkpointing phase (which may drain in the background).
 func (m *Machine) Checkpoint() {
 	start := m.now
+	if m.recOn {
+		// Open before the flush so queue stalls inside it nest as
+		// children; the dirty count is only known afterwards, so the span
+		// arg carries the flush window instead.
+		m.rec.BeginSpan(obs.TrackCPU, uint64(start), obs.SpanCacheFlush, obs.CauseCacheFlush, uint64(m.hier.DirtyBlocks()))
+	}
 	flushDone, n := m.hier.FlushDirty(m.now, m.flushIssueCost)
 	m.flushedBlocks += uint64(n)
 	m.now = flushDone
 	if m.recOn {
+		m.rec.EndSpan(obs.TrackCPU, uint64(flushDone))
 		m.rec.Event(uint64(start), obs.EvCacheFlush, uint64(n), uint64(flushDone-start))
 	}
 	if m.PreCheckpoint != nil {
@@ -165,7 +173,9 @@ func (m *Machine) Checkpoint() {
 	m.now = resume
 }
 
-// Drain waits for any in-flight checkpoint to commit.
+// Drain waits for any in-flight checkpoint to commit. The foreground wait
+// is attributed by the controller (a TrackCPU device_drain span) so this
+// wrapper stays small enough to inline on the detached path.
 func (m *Machine) Drain() {
 	m.now = m.ctrl.DrainCheckpoint(m.now)
 }
@@ -255,10 +265,15 @@ func (m *Machine) CrashNow() mem.Cycle {
 // is restored from the checkpointed CPU state. hadCheckpoint is false when
 // the crash predated any commit (cold restart: fresh core).
 func (m *Machine) Recover() (hadCheckpoint bool, err error) {
+	before := m.now
 	state, lat, err := m.ctrl.Recover()
 	m.now += lat
 	if err != nil {
 		return false, err
+	}
+	if m.recOn && lat > 0 {
+		m.rec.BeginSpan(obs.TrackCPU, uint64(before), obs.SpanRecoveryReplay, obs.CauseRecoveryReplay, 0)
+		m.rec.EndSpan(obs.TrackCPU, uint64(m.now))
 	}
 	m.core = &cpu.Core{}
 	if state == nil {

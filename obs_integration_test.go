@@ -9,8 +9,8 @@ import (
 )
 
 // telemetryRun executes one seeded workload with a collector attached and
-// returns the three export formats plus the result.
-func telemetryRun(t *testing.T, k thynvm.SystemKind) (jsonl, chrome, metrics []byte, res thynvm.Result) {
+// returns the four export formats plus the result.
+func telemetryRun(t *testing.T, k thynvm.SystemKind) (jsonl, chrome, metrics, spans []byte, res thynvm.Result) {
 	t.Helper()
 	sys := thynvm.MustNewSystem(k, smallOpts())
 	col := obs.NewCollector()
@@ -19,7 +19,7 @@ func telemetryRun(t *testing.T, k thynvm.SystemKind) (jsonl, chrome, metrics []b
 	}
 	res = sys.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
 	sys.Drain()
-	var a, b, c bytes.Buffer
+	var a, b, c, d bytes.Buffer
 	if err := col.WriteJSONL(&a); err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,10 @@ func telemetryRun(t *testing.T, k thynvm.SystemKind) (jsonl, chrome, metrics []b
 	if err := col.WriteMetricsJSON(&c); err != nil {
 		t.Fatal(err)
 	}
-	return a.Bytes(), b.Bytes(), c.Bytes(), res
+	if err := col.WriteSpanJSONL(&d); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes(), c.Bytes(), d.Bytes(), res
 }
 
 // TestTelemetryDeterministic checks that same-seed runs produce
@@ -39,8 +42,8 @@ func TestTelemetryDeterministic(t *testing.T) {
 	for _, k := range thynvm.AllSystems() {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
-			j1, c1, m1, r1 := telemetryRun(t, k)
-			j2, c2, m2, r2 := telemetryRun(t, k)
+			j1, c1, m1, s1, r1 := telemetryRun(t, k)
+			j2, c2, m2, s2, r2 := telemetryRun(t, k)
 			if !bytes.Equal(j1, j2) {
 				t.Error("JSONL event logs differ between same-seed runs")
 			}
@@ -49,6 +52,12 @@ func TestTelemetryDeterministic(t *testing.T) {
 			}
 			if !bytes.Equal(m1, m2) {
 				t.Error("metrics JSON differs between same-seed runs")
+			}
+			if !bytes.Equal(s1, s2) {
+				t.Error("span streams differ between same-seed runs")
+			}
+			if len(s1) == 0 {
+				t.Error("no spans recorded")
 			}
 			if r1.Cycles != r2.Cycles {
 				t.Errorf("cycles differ between same-seed runs: %d vs %d", r1.Cycles, r2.Cycles)
@@ -70,7 +79,7 @@ func TestTelemetryDoesNotPerturb(t *testing.T) {
 			r1 := plain.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
 			plain.Drain()
 
-			_, _, _, r2 := telemetryRun(t, k)
+			_, _, _, _, r2 := telemetryRun(t, k)
 			if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
 				t.Errorf("recorder perturbed the simulation: %d cycles / %d instr vs %d / %d",
 					r1.Cycles, r1.Instructions, r2.Cycles, r2.Instructions)
@@ -123,6 +132,60 @@ func TestEpochSeriesSumsToStats(t *testing.T) {
 			for i, s := range col.Epochs {
 				if s.Epoch != uint64(i) {
 					t.Fatalf("epoch sample %d has id %d", i, s.Epoch)
+				}
+			}
+		})
+	}
+}
+
+// TestCycleAttributionExact is the accounting invariant behind thynvm-prof:
+// for every scheme, the per-epoch cause cycles sum EXACTLY to the epoch
+// window, rows tile the timeline gaplessly from cycle 0, and the last closed
+// row ends no later than the current cycle. Nothing is lost, nothing is
+// double-counted.
+func TestCycleAttributionExact(t *testing.T) {
+	for _, k := range thynvm.AllSystems() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			sys := thynvm.MustNewSystem(k, smallOpts())
+			col := obs.NewCollector()
+			if !sys.SetRecorder(col) {
+				t.Fatalf("%v: controller did not accept the recorder", k)
+			}
+			sys.Run(thynvm.RandomWorkload(1<<20, 3000, 5))
+			// Close the final partial epoch so every cycle is attributed,
+			// then let any background drain commit.
+			sys.Checkpoint()
+			sys.Drain()
+
+			if err := col.CheckAttribution(); err != nil {
+				t.Fatal(err)
+			}
+			if len(col.Attrib) == 0 {
+				t.Fatal("no attribution rows recorded")
+			}
+			first, last := col.Attrib[0], col.Attrib[len(col.Attrib)-1]
+			if first.Start != 0 {
+				t.Errorf("attribution does not start at cycle 0 (starts at %d)", first.Start)
+			}
+			if now := uint64(sys.Now()); last.End > now {
+				t.Errorf("last attribution row ends at %d, beyond current cycle %d", last.End, now)
+			}
+			// Total attributed cycles == span of the closed rows (telescoping
+			// over tiled rows; CheckAttribution verified each row).
+			byCause := col.SumAttrib()
+			var total uint64
+			for _, v := range byCause {
+				total += v
+			}
+			if want := last.End - first.Start; total != want {
+				t.Errorf("attributed %d cycles over a %d-cycle window", total, want)
+			}
+			// A checkpointing scheme must attribute some cycles to causes
+			// beyond pure execution.
+			if k != thynvm.SystemIdealDRAM && k != thynvm.SystemIdealNVM {
+				if total-byCause[obs.CauseExec] == 0 {
+					t.Error("checkpointing scheme attributed zero non-exec cycles")
 				}
 			}
 		})

@@ -1,96 +1,58 @@
 // crashtorture: randomized crash-injection torture of the consistency
 // guarantee — the executable counterpart of the paper's formal proof.
 //
-// Each round runs a random workload with random epoch boundaries, crashes
-// at the current instant, recovers, and asks the verification oracle
-// whether the recovered image is exactly one of the committed epoch
-// snapshots (and that the CPU state belongs to the same epoch). Any
-// divergence is a consistency violation and aborts with a diff.
+// Each round is one generated torture schedule: a random workload with
+// random epoch boundaries and one or more power failures — including
+// crashes during recovery and torn metadata persists — executed against
+// the verification oracle. Recovery must reproduce exactly one epoch
+// snapshot that could have been durable at the crash, and must never lose
+// a committed one (a "cold start" after a commit is itself a violation).
+// Any divergence aborts with a diff and a minimal replayable seed.
 //
 //	go run ./examples/crashtorture [-rounds 30] [-system thynvm] [-seed 1]
+//
+// The full campaign (all systems, parallel workers, corpus seeds) lives in
+// cmd/thynvm-torture; this example shows the per-round mechanics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
-	"time"
+	"os"
 
-	"thynvm"
+	"thynvm/internal/torture"
 )
 
 func main() {
-	rounds := flag.Int("rounds", 30, "torture rounds")
+	rounds := flag.Int("rounds", 30, "torture rounds (one generated schedule each)")
 	systemName := flag.String("system", "thynvm", "memory system")
 	seed := flag.Int64("seed", 1, "randomization seed")
 	flag.Parse()
 
-	kind, err := thynvm.ParseSystem(*systemName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	master := rand.New(rand.NewSource(*seed))
-
-	for round := 0; round < *rounds; round++ {
-		rng := rand.New(rand.NewSource(master.Int63()))
-		opts := thynvm.DefaultOptions()
-		opts.PhysBytes = 16 << 20
-		opts.EpochLen = time.Duration(5+rng.Intn(100)) * time.Microsecond
-		opts.BTTEntries = 256 << rng.Intn(4)
-		opts.PTTEntries = 64 << rng.Intn(4)
-		sys := thynvm.MustNewSystem(kind, opts)
-
-		oracle := thynvm.NewOracle()
-		var snapCores []uint64 // retired-instruction count per snapshot
-		sys.PreCheckpoint = func(m *thynvm.Machine) {
-			oracle.Capture(m.Controller(), fmt.Sprintf("epoch-%d", len(snapCores)), m.Now())
-			snapCores = append(snapCores, m.Core().Retired)
-		}
-
-		nOps := 500 + rng.Intn(4000)
-		data := make([]byte, 256)
-		for i := 0; i < nOps; i++ {
-			addr := uint64(rng.Intn(1<<20)) &^ 7
-			n := 1 + rng.Intn(len(data))
-			if rng.Intn(2) == 0 {
-				for j := 0; j < n; j++ {
-					data[j] = byte(rng.Intn(256))
-				}
-				sys.Write(addr, data[:n])
-				oracle.RecordWrite(addr, n)
-			} else {
-				sys.Read(addr, data[:n])
-			}
-			if rng.Intn(500) == 0 {
-				sys.Compute(uint64(rng.Intn(10000)))
-			}
-		}
-
-		at := sys.Crash()
-		had, err := sys.Recover()
+	scheds := torture.Generate(torture.GenConfig{
+		Seed:      *seed,
+		Systems:   []string{*systemName},
+		Schedules: *rounds,
+		MinOps:    40,
+		MaxOps:    200,
+	})
+	for round, s := range scheds {
+		out, err := torture.Run(s)
 		if err != nil {
-			log.Fatalf("round %d: recovery failed: %v", round, err)
+			log.Fatalf("round %d: %v", round, err)
 		}
-		if !had {
-			// No checkpoint committed before the crash: the oracle must
-			// hold no snapshot... or the crash landed before any commit.
-			fmt.Printf("round %03d: crash@%-12d ops=%-5d -> cold start (no committed epoch)\n",
-				round, uint64(at), nOps)
-			continue
+		if out.Violation != "" {
+			fmt.Printf("round %03d: VIOLATION — %s\n", round, out.Violation)
+			shrunk := torture.Shrink(s, func(cand *torture.Schedule) bool {
+				o, rerr := torture.Run(cand)
+				return rerr == nil && o.Violation != ""
+			})
+			fmt.Printf("minimal reproducer (%d ops):\n%s", len(shrunk.Ops), shrunk.Encode())
+			os.Exit(1)
 		}
-		idx, label, ok := oracle.Match(sys.Controller())
-		if !ok {
-			log.Fatalf("round %d: VIOLATION — recovered image matches no epoch snapshot:\n%v",
-				round, oracle.Diff(sys.Controller(), len(oracle.Snapshots())-1))
-		}
-		// CPU state must belong to the same epoch as the memory image.
-		if got := sys.Core().Retired; got != snapCores[idx] {
-			log.Fatalf("round %d: VIOLATION — memory matches %s but CPU state has %d retired (want %d)",
-				round, label, got, snapCores[idx])
-		}
-		fmt.Printf("round %03d: crash@%-12d ops=%-5d epochs=%-3d -> recovered exactly %s\n",
-			round, uint64(at), nOps, len(snapCores), label)
+		fmt.Printf("round %03d: ops=%-4d ckpts=%-3d crashes=%-2d -> matched=%d cold=%d restarts=%d tears=%d\n",
+			round, len(s.Ops), out.Checkpoints, out.Crashes, out.Matches, out.ColdStarts, out.Restarts, out.TearsFired)
 	}
 	fmt.Println("all rounds passed: every crash recovered to a committed epoch boundary")
 }

@@ -18,6 +18,8 @@ var simPackages = []string{
 	"thynvm/internal/obs",
 	"thynvm/internal/trace",
 	"thynvm/internal/radix",
+	"thynvm/internal/verify",
+	"thynvm/internal/torture",
 }
 
 // InSimScope reports whether the package at importPath is part of the

@@ -70,6 +70,21 @@ func (s *Ideal) WriteBlock(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
 	return ack
 }
 
+// SetWriteFault implements ctl.FaultInjectable.
+func (s *Ideal) SetWriteFault(f mem.WriteFault) { s.dev.SetWriteFault(f) }
+
+// SetCrashFault implements ctl.FaultInjectable. Note Crash persists
+// everything (mem.MaxCycle), so at-crash tears never fire on an ideal
+// system — consistent with its "crash consistency at no cost" premise.
+func (s *Ideal) SetCrashFault(f mem.CrashFault) { s.dev.SetCrashFault(f) }
+
+// MetadataKind implements ctl.MetadataMapper: the ideal systems keep no
+// durable metadata.
+func (s *Ideal) MetadataKind(addr uint64) ctl.MetadataKind { return ctl.MetaNone }
+
+// CommitAt implements ctl.CommitReporter: commits are instantaneous.
+func (s *Ideal) CommitAt() (bool, mem.Cycle) { return false, 0 }
+
 // CheckpointDue implements ctl.Controller: never. The paper's ideal
 // systems provide crash consistency at NO cost, so they must not trigger
 // epoch work (in particular not the harness's cache flush). Explicit

@@ -29,10 +29,11 @@ type Journal struct {
 	nvmBump    uint64
 	seq        uint64
 
-	epochSt  mem.Cycle
-	overflow bool
-	stats    ctl.Stats
-	tele     ctl.EpochSampler
+	epochSt    mem.Cycle
+	overflow   bool
+	recoverCut mem.Cycle // one-shot power-failure instant for the next Recover
+	stats      ctl.Stats
+	tele       ctl.EpochSampler
 }
 
 var _ ctl.Controller = (*Journal)(nil)
@@ -243,10 +244,45 @@ func (j *Journal) Crash(at mem.Cycle) {
 	j.seq = 0
 }
 
+// SetWriteFault implements ctl.FaultInjectable (NVM writes).
+func (j *Journal) SetWriteFault(f mem.WriteFault) { j.nvm.SetWriteFault(f) }
+
+// SetCrashFault implements ctl.FaultInjectable (torn NVM persists).
+func (j *Journal) SetCrashFault(f mem.CrashFault) { j.nvm.SetCrashFault(f) }
+
+// SetRecoverInterrupt implements ctl.RecoverInterrupter.
+func (j *Journal) SetRecoverInterrupt(at mem.Cycle) { j.recoverCut = at }
+
+// CommitAt implements ctl.CommitReporter: journaling is stop-the-world, so
+// nothing is ever draining when the harness can observe it.
+func (j *Journal) CommitAt() (bool, mem.Cycle) { return false, 0 }
+
+// MetadataKind implements ctl.MetadataMapper.
+func (j *Journal) MetadataKind(addr uint64) ctl.MetadataKind {
+	if addr == j.headerAddr[0] || addr == j.headerAddr[1] {
+		return ctl.MetaHeader
+	}
+	for i := range j.blobArea {
+		a := j.blobArea[i]
+		if a.size > 0 && addr >= a.addr && addr < a.addr+a.size {
+			return ctl.MetaTable
+		}
+	}
+	return ctl.MetaNone
+}
+
 // Recover implements ctl.Controller: redo the newest committed journal over
-// the home region (idempotent — a crash mid-apply is repaired by replay).
+// the home region (idempotent — a crash mid-apply is repaired by replay,
+// which is also why an interrupted recovery can simply run again).
 func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
+	cut := j.recoverCut
+	j.recoverCut = 0
+	armed := cut > 0
 	best, blob, t, ok := readBestCommit(j.nvm, 0, j.headerAddr)
+	if armed && t >= cut {
+		j.Crash(cut)
+		return nil, cut, ctl.ErrRecoverInterrupted
+	}
 	if !ok {
 		j.epochSt = t
 		return nil, t, nil
@@ -258,10 +294,18 @@ func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 	off += 8
 	var blockBuf [mem.BlockSize]byte
 	for i := uint64(0); i < n; i++ {
+		if armed && t >= cut {
+			j.Crash(cut)
+			return nil, cut, ctl.ErrRecoverInterrupted
+		}
 		idx := binary.LittleEndian.Uint64(blob[off:])
 		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
 		t = j.nvm.Write(t, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		off += 8 + mem.BlockSize
+	}
+	if armed && j.nvm.MaxPendingDone(t) > cut {
+		j.Crash(cut)
+		return nil, cut, ctl.ErrRecoverInterrupted
 	}
 	t = j.nvm.Flush(t)
 	// Future journal areas must not clobber the surviving commit.

@@ -31,11 +31,12 @@ type Shadow struct {
 	nvmBump    uint64
 	seq        uint64
 
-	epochSt  mem.Cycle
-	lastCPU  []byte // CPU state of the most recent epoch checkpoint
-	overflow bool
-	stats    ctl.Stats
-	tele     ctl.EpochSampler
+	epochSt    mem.Cycle
+	lastCPU    []byte // CPU state of the most recent epoch checkpoint
+	overflow   bool
+	recoverCut mem.Cycle // one-shot power-failure instant for the next Recover
+	stats      ctl.Stats
+	tele       ctl.EpochSampler
 }
 
 type shadowPage struct {
@@ -357,10 +358,44 @@ func (s *Shadow) Crash(at mem.Cycle) {
 	s.seq = 0
 }
 
+// SetWriteFault implements ctl.FaultInjectable (NVM writes).
+func (s *Shadow) SetWriteFault(f mem.WriteFault) { s.nvm.SetWriteFault(f) }
+
+// SetCrashFault implements ctl.FaultInjectable (torn NVM persists).
+func (s *Shadow) SetCrashFault(f mem.CrashFault) { s.nvm.SetCrashFault(f) }
+
+// SetRecoverInterrupt implements ctl.RecoverInterrupter.
+func (s *Shadow) SetRecoverInterrupt(at mem.Cycle) { s.recoverCut = at }
+
+// CommitAt implements ctl.CommitReporter: flushes are stop-the-world.
+func (s *Shadow) CommitAt() (bool, mem.Cycle) { return false, 0 }
+
+// MetadataKind implements ctl.MetadataMapper.
+func (s *Shadow) MetadataKind(addr uint64) ctl.MetadataKind {
+	if addr == s.headerAddr[0] || addr == s.headerAddr[1] {
+		return ctl.MetaHeader
+	}
+	for i := range s.blobArea {
+		a := s.blobArea[i]
+		if a.size > 0 && addr >= a.addr && addr < a.addr+a.size {
+			return ctl.MetaTable
+		}
+	}
+	return ctl.MetaNone
+}
+
 // Recover implements ctl.Controller: consolidate committed shadow copies
-// into the home region.
+// into the home region. Restartable: consolidation reads committed shadow
+// slots (never overwritten until the next commit) and only writes Home.
 func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
+	cut := s.recoverCut
+	s.recoverCut = 0
+	armed := cut > 0
 	best, blob, t, ok := readBestCommit(s.nvm, 0, s.headerAddr)
+	if armed && t >= cut {
+		s.Crash(cut)
+		return nil, cut, ctl.ErrRecoverInterrupted
+	}
 	if !ok {
 		s.epochSt = t
 		return nil, t, nil
@@ -373,6 +408,10 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 	var pageBuf [mem.PageSize]byte
 	maxEnd := s.nvmBump
 	for i := uint64(0); i < n; i++ {
+		if armed && t >= cut {
+			s.Crash(cut)
+			return nil, cut, ctl.ErrRecoverInterrupted
+		}
 		phys := binary.LittleEndian.Uint64(blob[off:])
 		slot := binary.LittleEndian.Uint64(blob[off+8:])
 		off += 16
@@ -381,6 +420,10 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 		if end := slot + mem.PageSize; end > maxEnd {
 			maxEnd = end
 		}
+	}
+	if armed && s.nvm.MaxPendingDone(t) > cut {
+		s.Crash(cut)
+		return nil, cut, ctl.ErrRecoverInterrupted
 	}
 	t = s.nvm.Flush(t)
 	if end := best.blobAddr + best.blobLen; end > maxEnd {

@@ -56,6 +56,10 @@ type Controller struct {
 	pageStores     *radix.Table[uint32] // per-page store counts, current epoch
 	lastPageStores *radix.Table[uint32] // counts from the epoch being checkpointed
 
+	// recoverCut, when non-zero, is a one-shot power-failure instant on the
+	// next Recover's timeline (crash-during-recovery torture).
+	recoverCut mem.Cycle
+
 	stats ctl.Stats
 	tele  ctl.EpochSampler
 }
@@ -610,10 +614,39 @@ func (c *Controller) LiveEntries() (btt, ptt int) {
 	return c.blocks.Len(), c.pages.Len()
 }
 
-// CommitAt reports whether a checkpoint is draining and the cycle at which
-// it becomes durable. Harnesses use it to reason about crash windows.
+// CommitAt implements ctl.CommitReporter: whether a checkpoint is draining
+// and the cycle at which it becomes durable. Harnesses use it to reason
+// about crash windows.
 func (c *Controller) CommitAt() (inFlight bool, at mem.Cycle) {
 	return c.ckptInFlight, c.commitDone
+}
+
+// SetWriteFault implements ctl.FaultInjectable: the hook applies to writes
+// posted to the durable (NVM) device.
+func (c *Controller) SetWriteFault(f mem.WriteFault) { c.nvm.SetWriteFault(f) }
+
+// SetCrashFault implements ctl.FaultInjectable: the hook applies to NVM
+// writes in flight at a crash instant (torn persists).
+func (c *Controller) SetCrashFault(f mem.CrashFault) { c.nvm.SetCrashFault(f) }
+
+// SetRecoverInterrupt implements ctl.RecoverInterrupter: arm a one-shot
+// power failure at cycle at on the next Recover's timeline (0 disarms).
+func (c *Controller) SetRecoverInterrupt(at mem.Cycle) { c.recoverCut = at }
+
+// MetadataKind implements ctl.MetadataMapper: commit-header slots and the
+// two ping-pong table-blob areas are metadata; everything else (Home
+// region, checkpoint slots) is data.
+func (c *Controller) MetadataKind(addr uint64) ctl.MetadataKind {
+	if addr == c.headerAddr[0] || addr == c.headerAddr[1] {
+		return ctl.MetaHeader
+	}
+	for i := range c.tableArea {
+		a := c.tableArea[i]
+		if a.size > 0 && addr >= a.addr && addr < a.addr+a.size {
+			return ctl.MetaTable
+		}
+	}
+	return ctl.MetaNone
 }
 
 // sortedBlocks and sortedPages return table entries in physical-index order.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 )
 
@@ -228,13 +229,33 @@ func (c *Controller) Crash(at mem.Cycle) {
 	c.seq = 0
 }
 
+// interruptRecovery models power failing at cycle cut of the recovery
+// timeline: writes the interrupted recovery posted but did not complete by
+// cut are lost (or torn, under an armed CrashFault), volatile state is
+// reset, and the caller is told to recover again.
+func (c *Controller) interruptRecovery(cut mem.Cycle) ([]byte, mem.Cycle, error) {
+	c.Crash(cut)
+	return nil, cut, ctl.ErrRecoverInterrupted
+}
+
 // Recover implements ctl.Controller: it reloads the newest valid checkpoint
 // metadata from NVM (the paper's step 1), consolidates every checkpointed
 // block and page into the Home region so the whole physical address space
 // is software-visible again (steps 2–3), and returns the CPU state saved
 // with that checkpoint. If no checkpoint ever committed, the Home region
 // (the initial image) is the recovered state and cpuState is nil.
+//
+// When a recovery interrupt is armed (SetRecoverInterrupt), the controller
+// stops issuing work once the timeline passes the cut and returns
+// ctl.ErrRecoverInterrupted after discarding consolidation writes that had
+// not completed by then — recovery must therefore be restartable from any
+// prefix of its own writes, which it is: consolidation only copies durable
+// checkpoint slots onto Home, and the metadata naming those slots is not
+// touched until the next commit.
 func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
+	cut := c.recoverCut
+	c.recoverCut = 0
+	armed := cut > 0
 	t := mem.Cycle(0)
 	var best *header
 	var bestBlob []byte
@@ -256,6 +277,9 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 			bestBlob = blob
 		}
 	}
+	if armed && t >= cut {
+		return c.interruptRecovery(cut)
+	}
 	if best == nil {
 		// Cold start: nothing committed; Home is authoritative.
 		c.epochID = 0
@@ -271,6 +295,9 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 	var blockBuf [mem.BlockSize]byte
 	maxBump := c.nvmBumpStart
 	for _, r := range img.blocks {
+		if armed && t >= cut {
+			return c.interruptRecovery(cut)
+		}
 		rd := c.nvm.Read(t, r.slot, blockBuf[:])
 		t = c.nvm.Write(rd, r.phys*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.BlockSize; end > maxBump {
@@ -279,11 +306,18 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 	}
 	var pageBuf [mem.PageSize]byte
 	for _, r := range img.pages {
+		if armed && t >= cut {
+			return c.interruptRecovery(cut)
+		}
 		rd := c.nvm.Read(t, r.slot, pageBuf[:])
 		t = c.nvm.Write(rd, r.phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.PageSize; end > maxBump {
 			maxBump = end
 		}
+	}
+	if armed && c.nvm.MaxPendingDone(t) > cut {
+		// Power fails before the last consolidation write drains.
+		return c.interruptRecovery(cut)
 	}
 	t = c.nvm.Flush(t)
 	// Future allocations must not clobber the surviving metadata blob (it

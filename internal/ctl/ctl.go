@@ -11,6 +11,7 @@
 package ctl
 
 import (
+	"errors"
 	"fmt"
 
 	"thynvm/internal/mem"
@@ -65,6 +66,59 @@ type Controller interface {
 	Stats() Stats
 	// ResetStats zeroes all statistics, including device counters.
 	ResetStats()
+}
+
+// ErrRecoverInterrupted is returned by Recover when an armed recovery
+// interrupt (SetRecoverInterrupt) fired before the recovered image became
+// fully durable: power failed *during* recovery. The controller is left in
+// its post-crash state — volatile state reset, NVM holding whatever the
+// interrupted recovery made durable — and Recover may simply be called
+// again, exactly like a real machine rebooting twice.
+var ErrRecoverInterrupted = errors.New("ctl: power failed during recovery")
+
+// RecoverInterrupter is implemented by controllers whose Recover can be
+// interrupted mid-flight (crash-during-recovery torture). The cut is a
+// cycle on the recovery timeline (Recover starts at cycle 0); it arms the
+// next Recover call only and is disarmed once consumed. Passing 0 disarms.
+// If the cut lies at or beyond the recovery's natural completion, Recover
+// finishes normally.
+type RecoverInterrupter interface {
+	SetRecoverInterrupt(at mem.Cycle)
+}
+
+// CommitReporter is implemented by controllers with asynchronous commits:
+// it reports whether a checkpoint is draining and the cycle at which it
+// becomes durable. Harnesses use it to reason about crash windows.
+type CommitReporter interface {
+	CommitAt() (inFlight bool, at mem.Cycle)
+}
+
+// FaultInjectable is implemented by controllers that can forward fault
+// hooks to their durable (NVM) device for crash-torture campaigns. See
+// mem.WriteFault and mem.CrashFault for the two fault models.
+type FaultInjectable interface {
+	SetWriteFault(f mem.WriteFault)
+	SetCrashFault(f mem.CrashFault)
+}
+
+// MetadataKind classifies a durable-device address for fault injection.
+type MetadataKind int
+
+const (
+	// MetaNone: ordinary data (home region, checkpoint slots).
+	MetaNone MetadataKind = iota
+	// MetaHeader: a commit-header slot (the scheme's atomicity hinge).
+	MetaHeader
+	// MetaTable: a metadata blob area (serialized BTT/PTT, journal, page
+	// table).
+	MetaTable
+)
+
+// MetadataMapper is implemented by controllers that can classify NVM
+// addresses, so a fault injector can target the BTT/PTT persist points
+// without re-deriving the controller's address-space layout.
+type MetadataMapper interface {
+	MetadataKind(addr uint64) MetadataKind
 }
 
 // Stats aggregates controller- and device-level counters used to reproduce

@@ -29,6 +29,23 @@ type pendingWrite struct {
 	done Cycle
 }
 
+// WriteFault intercepts a posted write before it enters the queue (fault
+// injection; silent-corruption model: the device acknowledges the full
+// write but durably stores something else). It may return nil to pass the
+// write through untouched, or a replacement payload — typically a prefix
+// (torn tail) or a bit-flipped copy of data. The replacement may alias
+// data. Timing, statistics and the ack are unaffected: the hardware
+// attempted the full write.
+type WriteFault func(addr uint64, data []byte, src WriteSource) []byte
+
+// CrashFault intercepts, at Crash(at), each posted write still in flight
+// (completion after the crash instant) — the writes a power failure would
+// normally discard entirely. Returning nil keeps that behavior; returning
+// a non-empty payload persists it instead, modeling a write that was
+// partway through the device pipeline when power failed (torn persist).
+// The payload may alias data (e.g. data[:k] for a torn tail).
+type CrashFault func(addr uint64, data []byte) []byte
+
 // DeviceStats aggregates traffic and timing counters for one device.
 type DeviceStats struct {
 	Reads        uint64
@@ -57,6 +74,10 @@ type Device struct {
 	minDone Cycle    // earliest completion among pending writes (valid when pending is non-empty)
 	free    [][]byte // recycled posted-write buffers, reused by WriteAt
 	stats   DeviceStats
+
+	// Fault-injection hooks (crash-torture); nil in normal operation.
+	writeFault WriteFault
+	crashFault CrashFault
 
 	// Telemetry: latency observations go to rec when recOn; the flag is
 	// cached so the disabled path costs one branch, no interface call.
@@ -105,6 +126,14 @@ func (d *Device) SetRecorder(r obs.Recorder, readHist, writeHist obs.HistID) {
 		d.track = obs.TrackDRAM
 	}
 }
+
+// SetWriteFault installs (or, with nil, removes) a silent-corruption fault
+// hook applied to every subsequent posted write.
+func (d *Device) SetWriteFault(f WriteFault) { d.writeFault = f }
+
+// SetCrashFault installs (or, with nil, removes) a torn-persist fault hook
+// consulted at Crash for writes still in flight.
+func (d *Device) SetCrashFault(f CrashFault) { d.crashFault = f }
 
 // Stats returns a copy of the device's counters.
 func (d *Device) Stats() DeviceStats { return d.stats }
@@ -350,6 +379,11 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 	}
 	cp := d.getBuf(len(data))
 	copy(cp, data)
+	if d.writeFault != nil {
+		if alt := d.writeFault(addr, cp, src); alt != nil {
+			cp = alt
+		}
+	}
 	d.pending = append(d.pending, pendingWrite{addr: addr, data: cp, done: done})
 	if len(d.pending) == 1 || done < d.minDone {
 		d.minDone = done
@@ -409,6 +443,12 @@ func (d *Device) Crash(at Cycle) {
 	for _, pw := range d.pending {
 		if pw.done <= at {
 			d.store.Write(pw.addr, pw.data)
+		} else if d.crashFault != nil {
+			// In flight at the crash instant: normally lost outright, but a
+			// torn-persist injector may keep a partial/corrupted payload.
+			if keep := d.crashFault(pw.addr, pw.data); len(keep) > 0 {
+				d.store.Write(pw.addr, keep)
+			}
 		}
 		d.recycle(pw.data)
 	}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"thynvm/internal/cache"
@@ -37,6 +38,18 @@ type Machine struct {
 	// before BeginCheckpoint — the instant whose memory image a recovery
 	// of this checkpoint reproduces. The verification oracle hooks here.
 	PreCheckpoint func(m *Machine)
+
+	// PostCheckpoint, when set, runs after BeginCheckpoint returns, once
+	// m.Now() reflects the foreground checkpoint stall. Torture harnesses
+	// use it to ask the controller when the just-begun commit will (or
+	// did) become durable.
+	PostCheckpoint func(m *Machine)
+
+	// recoverCuts are pending crash-during-recovery instants, expressed on
+	// the recovery timeline (each Recover attempt restarts at cycle 0).
+	// Recover consumes one per attempt, front first.
+	recoverCuts     []mem.Cycle
+	recoverRestarts uint64
 
 	// autoCheckpointOff suppresses the implicit per-operation checkpoint
 	// poll. Applications whose program state is only consistent at
@@ -171,6 +184,9 @@ func (m *Machine) Checkpoint() {
 	m.ckptCalls++
 	m.ckptCallStall += resume - start
 	m.now = resume
+	if m.PostCheckpoint != nil {
+		m.PostCheckpoint(m)
+	}
 }
 
 // Drain waits for any in-flight checkpoint to commit. The foreground wait
@@ -260,11 +276,50 @@ func (m *Machine) CrashNow() mem.Cycle {
 	return at
 }
 
+// SetRecoverCrashPoints arms crash-during-recovery injection: the next
+// len(cuts) Recover attempts are each interrupted by a power failure at the
+// given cycle of their own recovery timeline (attempt-relative; every
+// attempt restarts at cycle 0). Recover retries automatically after each
+// interruption, so a single Recover call consumes the whole list. A cut at
+// or beyond an attempt's natural completion lets it finish normally.
+// Controllers that do not support interruption ignore the cuts.
+func (m *Machine) SetRecoverCrashPoints(cuts []mem.Cycle) {
+	m.recoverCuts = append(m.recoverCuts[:0], cuts...)
+}
+
+// RecoveryRestarts returns how many Recover attempts were interrupted by an
+// injected crash-during-recovery and retried.
+func (m *Machine) RecoveryRestarts() uint64 { return m.recoverRestarts }
+
 // Recover rebuilds the system after a crash: the controller restores the
 // last committed memory image, and the core (plus registered program state)
 // is restored from the checkpointed CPU state. hadCheckpoint is false when
 // the crash predated any commit (cold restart: fresh core).
+//
+// If crash points were armed via SetRecoverCrashPoints, interrupted
+// attempts are retried until one completes — recovery after a crash during
+// recovery, the paper's idempotent-recovery requirement.
 func (m *Machine) Recover() (hadCheckpoint bool, err error) {
+	for {
+		if len(m.recoverCuts) > 0 {
+			if ri, ok := m.ctrl.(ctl.RecoverInterrupter); ok {
+				ri.SetRecoverInterrupt(m.recoverCuts[0])
+				m.recoverCuts = m.recoverCuts[1:]
+			} else {
+				m.recoverCuts = nil
+			}
+		}
+		had, rerr := m.recoverOnce()
+		if rerr != nil && errors.Is(rerr, ctl.ErrRecoverInterrupted) {
+			m.recoverRestarts++
+			m.hier.InvalidateAll()
+			continue
+		}
+		return had, rerr
+	}
+}
+
+func (m *Machine) recoverOnce() (hadCheckpoint bool, err error) {
 	before := m.now
 	state, lat, err := m.ctrl.Recover()
 	m.now += lat

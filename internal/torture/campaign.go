@@ -1,0 +1,90 @@
+package torture
+
+import (
+	"fmt"
+	"strings"
+
+	"thynvm/internal/pool"
+)
+
+// CampaignConfig configures one campaign run.
+type CampaignConfig struct {
+	Gen      GenConfig
+	Parallel int  // pool workers; any value yields the same log
+	Shrink   bool // minimize the first violation
+}
+
+// Violation is one failing schedule, with its shrunk reproducer when the
+// campaign was asked to minimize.
+type Violation struct {
+	Schedule *Schedule
+	Outcome  *Outcome
+	Shrunk   *Schedule // nil unless shrinking ran for this violation
+}
+
+// CampaignResult is the deterministic product of a campaign: Log is
+// byte-identical for a given GenConfig at any Parallel.
+type CampaignResult struct {
+	Schedules  int
+	Violations []*Violation
+	Log        string
+}
+
+// outcomeLine renders one schedule's log line.
+func outcomeLine(s *Schedule, o *Outcome) string {
+	if o.Violation != "" {
+		return fmt.Sprintf("[%s] VIOLATION: %s", s.Label, o.Violation)
+	}
+	return fmt.Sprintf("[%s] ok ckpts=%d crashes=%d matches=%d cold=%d restarts=%d tears=%d injected=%d cycles=%d",
+		s.Label, o.Checkpoints, o.Crashes, o.Matches, o.ColdStarts, o.Restarts, o.TearsFired, o.Injected, o.FinalCycle)
+}
+
+// RunCampaign generates and executes the full schedule grid. Schedules run
+// independently (one fresh system each), fanned across Parallel workers;
+// results are assembled in canonical generation order, so the log — and the
+// shrunk reproducer, which re-executes sequentially — is byte-identical
+// regardless of worker count.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	scheds := Generate(cfg.Gen)
+	outs, err := pool.Run(len(scheds), cfg.Parallel, func(i int) (*Outcome, error) {
+		return Run(scheds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CampaignResult{Schedules: len(scheds)}
+	var b strings.Builder
+	fmt.Fprintf(&b, "thynvm-torture campaign seed=%d systems=%s schedules=%d\n",
+		cfg.Gen.Seed, strings.Join(nonEmptySystems(cfg.Gen), ","), len(scheds))
+	for i, o := range outs {
+		b.WriteString(outcomeLine(scheds[i], o))
+		b.WriteByte('\n')
+		if o.Violation != "" {
+			res.Violations = append(res.Violations, &Violation{Schedule: scheds[i], Outcome: o})
+		}
+	}
+	fmt.Fprintf(&b, "summary schedules=%d violations=%d\n", len(scheds), len(res.Violations))
+
+	if cfg.Shrink && len(res.Violations) > 0 {
+		v := res.Violations[0]
+		v.Shrunk = Shrink(v.Schedule, stillFails)
+		fmt.Fprintf(&b, "shrunk [%s] to %d ops\n", v.Schedule.Label, len(v.Shrunk.Ops))
+	}
+	res.Log = b.String()
+	return res, nil
+}
+
+// stillFails reruns a candidate and reports whether it still violates —
+// the shrinker's predicate.
+func stillFails(cand *Schedule) bool {
+	o, err := Run(cand)
+	return err == nil && o.Violation != ""
+}
+
+func nonEmptySystems(g GenConfig) []string {
+	if len(g.Systems) > 0 {
+		return g.Systems
+	}
+	return AllSystemNames()
+}

@@ -1,0 +1,77 @@
+package torture
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func readSeeds(t *testing.T, dir string) map[string]*Schedule {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", dir, "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no seeds under testdata/%s", dir)
+	}
+	sort.Strings(paths)
+	out := make(map[string]*Schedule, len(paths))
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(string(text))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if s.Encode() != string(text) {
+			t.Errorf("%s: not in canonical form (re-encode differs)", p)
+		}
+		out[filepath.Base(p)] = s
+	}
+	return out
+}
+
+// Every corpus seed must replay clean: these are the regression schedules
+// PR CI runs on every push.
+func TestCorpusReplaysClean(t *testing.T) {
+	seeds := readSeeds(t, "corpus")
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, err := Run(seeds[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Violation != "" {
+			t.Errorf("%s: %s", name, o.Violation)
+		}
+	}
+}
+
+// The canary seeds carry a deliberately injected bug; the oracle must flag
+// every one of them. A canary replaying clean means the campaign has gone
+// blind.
+func TestCanarySeedsStillDetected(t *testing.T) {
+	seeds := readSeeds(t, "canary")
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, err := Run(seeds[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Violation == "" {
+			t.Errorf("%s: injected bug no longer detected", name)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"thynvm"
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+	"thynvm/internal/verify"
+)
+
+// Outcome is the result of executing one schedule.
+type Outcome struct {
+	Violation string // empty = consistent
+
+	Checkpoints uint64 // epoch boundaries taken
+	Crashes     uint64 // crash ops executed
+	Matches     uint64 // recoveries that matched a snapshot
+	ColdStarts  uint64 // recoveries that legitimately found no checkpoint
+	Restarts    uint64 // recovery attempts interrupted by a crash-during-recovery
+	TearsFired  uint64 // at-crash metadata tears that actually hit a persist
+	Injected    uint64 // silent fault activations
+	FinalCycle  mem.Cycle
+}
+
+// engine executes one schedule on one freshly built system.
+type engine struct {
+	s    *Schedule
+	sys  *thynvm.System
+	o    *verify.Oracle
+	mm   ctl.MetadataMapper
+	fi   ctl.FaultInjectable
+	cr   ctl.CommitReporter
+	out  *Outcome
+	isID bool // ideal system: engine-side crash-instant verification
+
+	tearFired bool
+}
+
+// Run executes a schedule and reports its outcome. A non-nil error means
+// the schedule itself was invalid; consistency violations are reported in
+// Outcome.Violation so the campaign can log, replay and shrink them.
+func Run(s *Schedule) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := thynvm.ParseSystem(s.System)
+	if err != nil {
+		return nil, err
+	}
+	isIdeal := kind == thynvm.SystemIdealDRAM || kind == thynvm.SystemIdealNVM
+	sys, err := thynvm.NewSystem(kind, thynvm.Options{
+		PhysBytes:  s.PhysBytes,
+		EpochLen:   time.Duration(s.EpochNs) * time.Nanosecond,
+		BTTEntries: s.BTT,
+		PTTEntries: s.PTT,
+		// The ideal systems promise crash consistency at no cost, which
+		// only holds when no volatile cache sits above the device; with
+		// caches the harness would lose dirty lines the premise says
+		// survive. Run them cacheless so the premise is checkable.
+		NoCaches: isIdeal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{s: s, sys: sys, o: verify.New(), out: &Outcome{}, isID: isIdeal}
+	ctrl := sys.Machine.Controller()
+	e.mm, _ = ctrl.(ctl.MetadataMapper)
+	e.fi, _ = ctrl.(ctl.FaultInjectable)
+	e.cr, _ = ctrl.(ctl.CommitReporter)
+
+	sys.Machine.PreCheckpoint = func(m *thynvm.Machine) {
+		e.o.Capture(m.Controller(), fmt.Sprintf("ckpt-%d", e.out.Checkpoints), m.Now())
+	}
+	sys.Machine.PostCheckpoint = func(m *thynvm.Machine) {
+		idx := len(e.o.Snapshots()) - 1
+		if e.cr != nil {
+			if inFlight, at := e.cr.CommitAt(); inFlight {
+				// Background commit: durable once the header persist
+				// completes — unless a crash preempts it, which the
+				// oracle sees as CommittedAt > crashAt.
+				e.o.SetCommitted(idx, at)
+				e.out.Checkpoints++
+				return
+			}
+		}
+		e.o.SetCommitted(idx, m.Now())
+		e.out.Checkpoints++
+	}
+	e.armInject()
+
+	for i := range s.Ops {
+		if err := e.step(&s.Ops[i]); err != nil {
+			e.out.Violation = err.Error()
+			break
+		}
+	}
+	e.out.FinalCycle = sys.Machine.Now()
+	return e.out, nil
+}
+
+// armInject installs the silent-corruption fault (the deliberately injected
+// bug) when the schedule asks for one and the controller supports it.
+func (e *engine) armInject() {
+	inj := e.s.Inject
+	if inj == nil || e.fi == nil {
+		return
+	}
+	count := 0
+	e.fi.SetWriteFault(func(addr uint64, cp []byte, src mem.WriteSource) []byte {
+		if src != mem.SrcCheckpoint {
+			return nil
+		}
+		kind := ctl.MetaNone
+		if e.mm != nil {
+			kind = e.mm.MetadataKind(addr)
+		}
+		switch inj.Target {
+		case TargetHeader:
+			if kind != ctl.MetaHeader {
+				return nil
+			}
+		case TargetTable:
+			if kind != ctl.MetaTable {
+				return nil
+			}
+		case TargetData:
+			if kind != ctl.MetaNone {
+				return nil
+			}
+		}
+		count++
+		if count != inj.Nth {
+			return nil
+		}
+		e.out.Injected++
+		return damage(cp, inj.TruncTo, inj.FlipBit)
+	})
+}
+
+// damage applies a truncation or bit flip to a persist payload, in place
+// where possible. Used by both silent faults and at-crash tears.
+func damage(data []byte, truncTo, flipBit int) []byte {
+	if truncTo > 0 {
+		if truncTo < len(data) {
+			return data[:truncTo]
+		}
+		return data
+	}
+	i := (flipBit / 8) % len(data)
+	data[i] ^= 1 << (flipBit % 8)
+	return data
+}
+
+// clampAddr folds an op address into the workload footprint so shrinker
+// edits and hand-written seeds stay executable.
+func (e *engine) clampAddr(addr uint64, n int) uint64 {
+	limit := e.s.Footprint - uint64(n)
+	if limit == 0 {
+		return 0
+	}
+	return addr % (limit + 1)
+}
+
+func (e *engine) step(op *Op) error {
+	m := e.sys.Machine
+	switch op.Kind {
+	case OpWrite:
+		addr := e.clampAddr(op.Addr, op.Len)
+		data := make([]byte, op.Len)
+		for j := range data {
+			data[j] = op.Val + byte(j)
+		}
+		m.Write(addr, data)
+		e.o.RecordWrite(addr, op.Len)
+	case OpRead:
+		addr := e.clampAddr(op.Addr, op.Len)
+		m.Read(addr, make([]byte, op.Len))
+	case OpCompute:
+		m.Compute(op.N)
+	case OpCheckpoint:
+		m.Checkpoint()
+	case OpCrash:
+		return e.crash(op)
+	}
+	return nil
+}
+
+// crash executes one crash op: optional checkpoint-overlap placement, an
+// optional at-crash metadata tear, the power failure itself, any armed
+// crash-during-recovery cuts, recovery, and the consistency verdict.
+func (e *engine) crash(op *Op) error {
+	m := e.sys.Machine
+	e.out.Crashes++
+
+	if op.Overlap {
+		// Adversarial placement: open a checkpoint and crash while its
+		// background drain is still in flight (ThyNVM's overlap window).
+		m.Checkpoint()
+	}
+
+	var idealImage []byte
+	if e.isID {
+		idealImage = make([]byte, e.s.Footprint)
+		m.Peek(0, idealImage)
+	}
+
+	e.tearFired = false
+	if op.Tear != nil && e.fi != nil && e.mm != nil {
+		tear := *op.Tear
+		e.fi.SetCrashFault(func(addr uint64, data []byte) []byte {
+			if e.tearFired {
+				return nil // in-flight and not the target: lost, as on a real crash
+			}
+			kind := e.mm.MetadataKind(addr)
+			if (tear.Target == TargetHeader && kind != ctl.MetaHeader) ||
+				(tear.Target == TargetTable && kind != ctl.MetaTable) ||
+				(tear.Target == TargetData && kind != ctl.MetaNone) {
+				return nil
+			}
+			e.tearFired = true
+			cp := append([]byte(nil), data...)
+			return damage(cp, tear.TruncTo, tear.FlipBit)
+		})
+	}
+	m.SetRecoverCrashPoints(op.Cuts)
+
+	crashAt := m.CrashNow()
+	if e.tearFired {
+		e.out.TearsFired++
+		// The newest snapshot's commit was in flight (its persist got
+		// torn): it may still decode — a legitimate recovery point — but
+		// is no longer a guaranteed floor.
+		if snaps := e.o.Snapshots(); len(snaps) > 0 {
+			newest := len(snaps) - 1
+			if snaps[newest].CommittedAt > crashAt {
+				e.o.MarkFaulted(newest)
+			}
+		}
+	}
+
+	restartsBefore := m.RecoveryRestarts()
+	hadCkpt, err := m.Recover()
+	e.out.Restarts += m.RecoveryRestarts() - restartsBefore
+	if e.fi != nil {
+		e.fi.SetCrashFault(nil)
+	}
+	if err != nil {
+		return fmt.Errorf("crash at cycle %d: recovery failed: %v", crashAt, err)
+	}
+
+	if e.isID {
+		// Ideal systems preserve the crash-instant image by assumption.
+		after := make([]byte, e.s.Footprint)
+		m.Peek(0, after)
+		if !bytes.Equal(after, idealImage) {
+			return fmt.Errorf("crash at cycle %d: ideal system lost the crash-instant image", crashAt)
+		}
+		e.out.Matches++
+		return nil
+	}
+
+	idx, verr := e.o.Check(m.Controller(), crashAt, hadCkpt)
+	if verr != nil {
+		return fmt.Errorf("crash at cycle %d: %v", crashAt, verr)
+	}
+	if idx < 0 {
+		e.out.ColdStarts++
+	} else {
+		e.out.Matches++
+		// Recovery consolidated this snapshot's content into the home
+		// region: it is durable from here on, even if its own commit had
+		// been torn.
+		e.o.Solidify(idx, crashAt)
+	}
+	// The timeline diverged: snapshots the recovered run never reached are
+	// stale.
+	e.o.PruneAfter(idx)
+	return nil
+}

@@ -1,0 +1,169 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thynvm/internal/mem"
+)
+
+// GenConfig parameterizes schedule generation. Zero values take defaults.
+type GenConfig struct {
+	Seed      int64
+	Systems   []string // default: all five
+	Schedules int      // per system (default 8)
+	MinOps    int      // default 20
+	MaxOps    int      // default 120
+	PhysBytes uint64   // default 1 MiB
+	EpochNs   uint64   // default 50 µs (so automatic epochs can fire)
+	BTT, PTT  int      // default 256 / 64
+	Footprint uint64   // default 64 KiB, clamped to half the baseline DRAM
+	Inject    *SilentFault
+}
+
+// AllSystemNames lists the five systems in campaign order.
+func AllSystemNames() []string {
+	return []string{"idealdram", "idealnvm", "journal", "shadow", "thynvm"}
+}
+
+func (c *GenConfig) fillDefaults() {
+	if len(c.Systems) == 0 {
+		c.Systems = AllSystemNames()
+	}
+	if c.Schedules <= 0 {
+		c.Schedules = 8
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 20
+	}
+	if c.MaxOps < c.MinOps {
+		c.MaxOps = c.MinOps + 100
+	}
+	if c.PhysBytes == 0 {
+		c.PhysBytes = 1 << 20
+	}
+	if c.EpochNs == 0 {
+		c.EpochNs = 50_000
+	}
+	if c.BTT <= 0 {
+		c.BTT = 256
+	}
+	if c.PTT <= 0 {
+		c.PTT = 64
+	}
+	if c.Footprint == 0 {
+		c.Footprint = 64 << 10
+	}
+	// The baseline systems buffer the working set in DRAM sized by PTT
+	// pages; a footprint beyond half of it forces mid-epoch overflow
+	// flushes whose machine state is not at a checkpoint boundary — a
+	// harness artifact, not a scheme bug — so the campaign stays below it.
+	if maxFp := uint64(c.PTT) * mem.PageSize / 2; c.Footprint > maxFp {
+		c.Footprint = maxFp
+	}
+	if c.Footprint > c.PhysBytes {
+		c.Footprint = c.PhysBytes
+	}
+}
+
+// mix64 is splitmix64's finalizer, decorrelating per-schedule seeds.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// Generate produces the campaign's schedules: len(Systems)*Schedules of
+// them, each from an independent rng derived from (Seed, index) so any
+// subset can be regenerated or executed in any order.
+func Generate(cfg GenConfig) []*Schedule {
+	cfg.fillDefaults()
+	var out []*Schedule
+	idx := 0
+	for _, sysName := range cfg.Systems {
+		for j := 0; j < cfg.Schedules; j++ {
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed) + uint64(idx) + 1))))
+			s := &Schedule{
+				System:    sysName,
+				Label:     fmt.Sprintf("%s-%04d", sysName, j),
+				PhysBytes: cfg.PhysBytes,
+				EpochNs:   cfg.EpochNs,
+				BTT:       cfg.BTT,
+				PTT:       cfg.PTT,
+				Footprint: cfg.Footprint,
+			}
+			if cfg.Inject != nil {
+				inj := *cfg.Inject
+				s.Inject = &inj
+			}
+			s.Ops = genOps(rng, cfg, s)
+			out = append(out, s)
+			idx++
+		}
+	}
+	return out
+}
+
+func genOps(rng *rand.Rand, cfg GenConfig, s *Schedule) []Op {
+	n := cfg.MinOps + rng.Intn(cfg.MaxOps-cfg.MinOps+1)
+	ops := make([]Op, 0, n+2)
+	ckpts, crashes := 0, 0
+	for i := 0; i < n; i++ {
+		switch p := rng.Intn(100); {
+		case p < 50:
+			ops = append(ops, Op{
+				Kind: OpWrite,
+				Addr: uint64(rng.Int63n(int64(s.Footprint))),
+				Len:  1 + rng.Intn(256),
+				Val:  byte(rng.Intn(256)),
+			})
+		case p < 60:
+			ops = append(ops, Op{
+				Kind: OpRead,
+				Addr: uint64(rng.Int63n(int64(s.Footprint))),
+				Len:  1 + rng.Intn(256),
+			})
+		case p < 72:
+			ops = append(ops, Op{Kind: OpCompute, N: uint64(100 + rng.Intn(4000))})
+		case p < 86:
+			ops = append(ops, Op{Kind: OpCheckpoint})
+			ckpts++
+		default:
+			ops = append(ops, genCrash(rng))
+			crashes++
+		}
+	}
+	// Every schedule must checkpoint and crash at least once, or it
+	// exercises nothing.
+	if ckpts == 0 {
+		ops = append(ops, Op{Kind: OpCheckpoint})
+	}
+	if crashes == 0 {
+		ops = append(ops, genCrash(rng))
+	}
+	return ops
+}
+
+func genCrash(rng *rand.Rand) Op {
+	op := Op{Kind: OpCrash}
+	// Bias crash placement into the checkpoint-overlap window: the moments
+	// right after a commit starts draining are where remap/writeback races
+	// live.
+	op.Overlap = rng.Intn(2) == 0
+	for k := rng.Intn(3); k > 0; k-- {
+		op.Cuts = append(op.Cuts, mem.Cycle(1+rng.Int63n(30_000)))
+	}
+	if rng.Intn(10) < 3 {
+		t := &Tear{Target: FaultTarget(rng.Intn(2))} // header or table
+		if rng.Intn(2) == 0 {
+			t.TruncTo = 8 * (1 + rng.Intn(7))
+		} else {
+			t.FlipBit = rng.Intn(mem.BlockSize * 8)
+		}
+		op.Tear = t
+	}
+	return op
+}

@@ -1,0 +1,86 @@
+package torture
+
+import "thynvm/internal/mem"
+
+// shrinkBudget bounds how many candidate executions one Shrink may spend.
+const shrinkBudget = 400
+
+// Shrink minimizes a failing schedule with greedy delta debugging: it
+// repeatedly removes op chunks (halving chunk size down to single ops) and
+// then simplifies the survivors (dropping crash modifiers, shrinking write
+// spans), keeping every candidate that still fails. fails must be a pure
+// predicate — Run is, because schedules execute deterministically.
+func Shrink(s *Schedule, fails func(*Schedule) bool) *Schedule {
+	cur := s.Clone()
+	budget := shrinkBudget
+	try := func(cand *Schedule) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(cand)
+	}
+
+	// Phase 1: chunk removal.
+	for chunk := (len(cur.Ops) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Ops); {
+			end := start + chunk
+			if end > len(cur.Ops) {
+				end = len(cur.Ops)
+			}
+			cand := cur.Clone()
+			cand.Ops = append(cand.Ops[:start], cand.Ops[end:]...)
+			if len(cand.Ops) > 0 && try(cand) {
+				cur = cand // chunk was irrelevant; retry same start
+			} else {
+				start = end
+			}
+		}
+	}
+
+	// Phase 2: per-op simplification.
+	for i := range cur.Ops {
+		op := &cur.Ops[i]
+		switch op.Kind {
+		case OpCrash:
+			if op.Tear != nil {
+				cand := cur.Clone()
+				cand.Ops[i].Tear = nil
+				if try(cand) {
+					cur = cand
+				}
+			}
+			if len(cur.Ops[i].Cuts) > 0 {
+				cand := cur.Clone()
+				cand.Ops[i].Cuts = nil
+				if try(cand) {
+					cur = cand
+				}
+			}
+			if cur.Ops[i].Overlap {
+				cand := cur.Clone()
+				cand.Ops[i].Overlap = false
+				if try(cand) {
+					cur = cand
+				}
+			}
+		case OpWrite, OpRead:
+			if op.Len > mem.BlockSize {
+				cand := cur.Clone()
+				cand.Ops[i].Len = mem.BlockSize
+				if try(cand) {
+					cur = cand
+				}
+			}
+		case OpCompute:
+			if op.N > 1 {
+				cand := cur.Clone()
+				cand.Ops[i].N = 1
+				if try(cand) {
+					cur = cand
+				}
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,202 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeGen is a small all-systems campaign config used by several tests.
+func smokeGen(seed int64) GenConfig {
+	return GenConfig{Seed: seed, Schedules: 2, MinOps: 15, MaxOps: 40}
+}
+
+// The clean campaign: all five schemes survive every generated schedule.
+func TestCampaignAllSystemsClean(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{Gen: smokeGen(42), Parallel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean campaign reported violations:\n%s", res.Log)
+	}
+	if res.Schedules != 2*len(AllSystemNames()) {
+		t.Errorf("schedules = %d", res.Schedules)
+	}
+}
+
+// Same seed, different worker counts: byte-identical logs.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	var logs []string
+	for _, workers := range []int{1, 4} {
+		res, err := RunCampaign(CampaignConfig{Gen: smokeGen(7), Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, res.Log)
+	}
+	if logs[0] != logs[1] {
+		t.Errorf("campaign log differs across worker counts:\n--- workers=1\n%s--- workers=4\n%s", logs[0], logs[1])
+	}
+	// And re-running with the same seed reproduces it exactly.
+	res, err := RunCampaign(CampaignConfig{Gen: smokeGen(7), Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log != logs[0] {
+		t.Error("campaign log not reproducible for the same seed")
+	}
+}
+
+// Multi-crash sequences and torn metadata actually exercise: over a larger
+// clean campaign, tears fire and crash-during-recovery restarts happen.
+func TestCampaignExercisesFaultPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger campaign")
+	}
+	res, err := RunCampaign(CampaignConfig{
+		Gen:      GenConfig{Seed: 99, Systems: []string{"thynvm", "journal", "shadow"}, Schedules: 6, MinOps: 25, MaxOps: 80},
+		Parallel: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean campaign reported violations:\n%s", res.Log)
+	}
+	if !strings.Contains(res.Log, "restarts=1") && !strings.Contains(res.Log, "restarts=2") && !strings.Contains(res.Log, "restarts=3") {
+		t.Error("no schedule exercised crash-during-recovery restarts")
+	}
+	foundTear := false
+	for _, line := range strings.Split(res.Log, "\n") {
+		if strings.Contains(line, "tears=") && !strings.Contains(line, "tears=0") {
+			foundTear = true
+		}
+	}
+	if !foundTear {
+		t.Error("no schedule fired an at-crash metadata tear")
+	}
+}
+
+// The injected silent-corruption bug (checkpoint data damaged in flight)
+// must be caught by the oracle and shrink to a tiny reproducer.
+func TestInjectedBugFoundAndShrunk(t *testing.T) {
+	gen := GenConfig{
+		Seed:      3,
+		Systems:   []string{"thynvm"},
+		Schedules: 4,
+		MinOps:    25,
+		MaxOps:    60,
+		Inject:    &SilentFault{Target: TargetData, Nth: 2, FlipBit: 5},
+	}
+	res, err := RunCampaign(CampaignConfig{Gen: gen, Parallel: 0, Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("injected data corruption went undetected:\n%s", res.Log)
+	}
+	v := res.Violations[0]
+	if v.Shrunk == nil {
+		t.Fatal("no shrunk reproducer")
+	}
+	if len(v.Shrunk.Ops) > 20 {
+		t.Errorf("shrunk reproducer has %d ops, want <= 20:\n%s", len(v.Shrunk.Ops), v.Shrunk.Encode())
+	}
+	// The shrunk seed must replay to a violation, including after a
+	// round-trip through the seed format.
+	parsed, err := Parse(v.Shrunk.Encode())
+	if err != nil {
+		t.Fatalf("shrunk seed does not round-trip: %v", err)
+	}
+	o, err := Run(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Violation == "" {
+		t.Error("shrunk seed replayed clean")
+	}
+}
+
+// Silently corrupted metadata (not just data) is also detected: the scheme's
+// checksum rejects the damaged commit, recovery falls back below it, and the
+// oracle flags the lost committed checkpoint. A deterministic schedule —
+// write, checkpoint, let the commit drain, crash — pins the crash after the
+// corrupted commit's (believed) durability point.
+func TestInjectedMetadataCorruptionDetected(t *testing.T) {
+	for _, target := range []FaultTarget{TargetTable, TargetHeader} {
+		s := &Schedule{
+			System:    "thynvm",
+			Label:     "meta-" + target.String(),
+			PhysBytes: 1 << 20,
+			EpochNs:   50_000,
+			BTT:       256,
+			PTT:       64,
+			Footprint: 16 << 10,
+			Inject:    &SilentFault{Target: target, Nth: 1, FlipBit: 77},
+			Ops: []Op{
+				{Kind: OpWrite, Addr: 0, Len: 256, Val: 9},
+				{Kind: OpCheckpoint},
+				{Kind: OpCompute, N: 60_000}, // let the commit drain (below an epoch)
+				{Kind: OpCrash},
+			},
+		}
+		o, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Injected != 1 {
+			t.Fatalf("%s: silent fault fired %d times, want 1", target, o.Injected)
+		}
+		if o.Violation == "" {
+			t.Errorf("%s: silently corrupted metadata went undetected", target)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	scheds := Generate(GenConfig{Seed: 5, Schedules: 3})
+	for _, s := range scheds {
+		text := s.Encode()
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", s.Label, err, text)
+		}
+		if got.Encode() != text {
+			t.Fatalf("%s: round-trip mismatch:\n%s\nvs\n%s", s.Label, text, got.Encode())
+		}
+	}
+	// Inject directive round-trips too.
+	s := scheds[0].Clone()
+	s.Inject = &SilentFault{Target: TargetHeader, Nth: 3, TruncTo: 16}
+	if got, err := Parse(s.Encode()); err != nil || got.Inject == nil || *got.Inject != *s.Inject {
+		t.Fatalf("inject round-trip failed: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a seed",
+		"thynvm-torture v1\nsystem mars\nend\n",
+		"thynvm-torture v1\nsystem thynvm\nphys 0\nend\n",
+		"thynvm-torture v1\nsystem thynvm\nphys 1048576\nepoch_ns 50000\nbtt 8\nptt 8\nfootprint 4096\nop z\nend\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse accepted %q", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Seed: 21, Schedules: 2})
+	b := Generate(GenConfig{Seed: 21, Schedules: 2})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Encode() != b[i].Encode() {
+			t.Fatalf("schedule %d differs across Generate calls", i)
+		}
+	}
+}

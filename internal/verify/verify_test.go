@@ -116,3 +116,190 @@ func TestOracleEndToEndWithRecovery(t *testing.T) {
 			idx, ok, o.Diff(c, 0))
 	}
 }
+
+// Regression (footprint-soundness hole): a block first written AFTER a
+// snapshot's capture must be checked against that snapshot too — at the
+// snapshot's instant it held its pre-workload (zero) content, so a stale
+// non-zero value leaking through recovery is a violation Match must see.
+func TestMatchChecksLateTouchedBlocks(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	now := c.WriteBlock(0, 0, blockOf(1))
+	o.RecordWrite(0, mem.BlockSize)
+	o.Capture(c, "early", now)
+	// Touch a new block only after the capture.
+	late := uint64(4 * mem.BlockSize)
+	c.WriteBlock(now, late, blockOf(7))
+	o.RecordWrite(late, mem.BlockSize)
+	// Current image: block 0 = 1 (matches "early"), late block = 7
+	// (nonzero). Old oracle skipped the late block and claimed a match.
+	if idx, label, ok := o.Match(c); ok {
+		t.Fatalf("late-touched block leaked but Match reported %d %q", idx, label)
+	}
+	if diffs := o.Diff(c, 0); len(diffs) != 1 {
+		t.Fatalf("Diff = %v, want exactly the late block", diffs)
+	}
+}
+
+// Regression: Diff with a missing image entry used to index a nil slice.
+func TestDiffLateTouchedBlockNoPanic(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	o.RecordWrite(0, mem.BlockSize)
+	o.Capture(c, "a", 0)
+	o.RecordWrite(64, mem.BlockSize)
+	c.WriteBlock(0, 64, blockOf(9))
+	diffs := o.Diff(c, 0) // must not panic
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestZeroLengthWriteTouchesNothing(t *testing.T) {
+	o := New()
+	o.RecordWrite(128, 0)
+	o.RecordWrite(128, -4)
+	if got := o.TouchedBlocks(); len(got) != 0 {
+		t.Errorf("zero-length write touched %v", got)
+	}
+}
+
+func TestRecordWriteExactBlockSpans(t *testing.T) {
+	o := New()
+	o.RecordWrite(mem.BlockSize, mem.BlockSize) // exactly one aligned block
+	o.RecordWrite(3*mem.BlockSize-1, 1)         // last byte of a block
+	o.RecordWrite(4*mem.BlockSize-1, 2)         // spans the boundary by one byte
+	want := []uint64{mem.BlockSize, 2 * mem.BlockSize, 3 * mem.BlockSize, 4 * mem.BlockSize}
+	got := o.TouchedBlocks()
+	if len(got) != len(want) {
+		t.Fatalf("touched = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("touched = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLoadBaseExpectedContent(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	init := blockOf(5)
+	c.LoadHome(0, init)
+	o.LoadBase(0, init)
+	o.RecordWrite(0, mem.BlockSize)
+	o.Capture(c, "pristine", 0)
+	// Late-touched second block: expected content at "pristine" is zero.
+	o.RecordWrite(64, mem.BlockSize)
+	if idx, _, ok := o.Match(c); !ok || idx != 0 {
+		t.Fatalf("pristine image should match (idx=%d ok=%v): %v", idx, ok, o.Diff(c, 0))
+	}
+}
+
+func TestNewestCommittedBeforeTieAtCrashCycle(t *testing.T) {
+	o := New()
+	c := testCtrl()
+	o.Capture(c, "a", 100)
+	o.Capture(c, "b", 100) // two snapshots at the same cycle
+	if got := o.NewestCommittedBefore(100); got != 1 {
+		t.Errorf("tie at crash cycle: got %d, want newest (1)", got)
+	}
+	if got := o.NewestCommittedBefore(99); got != -1 {
+		t.Errorf("pre-tie: got %d, want -1", got)
+	}
+}
+
+func TestNewestCleanCommitted(t *testing.T) {
+	o := New()
+	c := testCtrl()
+	o.Capture(c, "a", 100)
+	o.Capture(c, "b", 200)
+	o.Capture(c, "c", 300)
+	o.SetCommitted(0, 150)
+	o.SetCommitted(1, 250)
+	o.MarkFaulted(1)
+	// Snapshot 2 never committed.
+	if got := o.NewestCleanCommitted(400); got != 0 {
+		t.Errorf("faulted snapshot used as floor: got %d, want 0", got)
+	}
+	o.Solidify(1, 260)
+	if got := o.NewestCleanCommitted(400); got != 1 {
+		t.Errorf("solidified snapshot not a floor: got %d, want 1", got)
+	}
+	if got := o.NewestCleanCommitted(100); got != -1 {
+		t.Errorf("commit-time boundary: got %d, want -1", got)
+	}
+}
+
+func TestPruneAfter(t *testing.T) {
+	o := New()
+	c := testCtrl()
+	o.Capture(c, "a", 1)
+	o.Capture(c, "b", 2)
+	o.Capture(c, "c", 3)
+	o.PruneAfter(0)
+	if n := len(o.Snapshots()); n != 1 {
+		t.Fatalf("snapshots after PruneAfter(0): %d", n)
+	}
+	o.PruneAfter(-1)
+	if n := len(o.Snapshots()); n != 0 {
+		t.Fatalf("snapshots after PruneAfter(-1): %d", n)
+	}
+}
+
+// Check: cold start with a durably committed snapshot is data loss.
+func TestCheckColdStartLosesCommit(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	now := c.WriteBlock(0, 0, blockOf(1))
+	o.RecordWrite(0, mem.BlockSize)
+	o.Capture(c, "a", now)
+	o.SetCommitted(0, now+10)
+	if _, err := o.Check(c, now+100, false); err == nil {
+		t.Fatal("cold start despite committed snapshot not flagged")
+	}
+	// But a cold start before anything committed is fine if the image is
+	// the pre-workload base.
+	c2 := testCtrl()
+	o2 := New()
+	o2.RecordWrite(0, mem.BlockSize)
+	o2.Capture(c2, "uncommitted", 50)
+	if _, err := o2.Check(c2, 60, false); err != nil {
+		t.Fatalf("clean cold start flagged: %v", err)
+	}
+	// Cold start with leaked writes is a violation.
+	c2.WriteBlock(0, 0, blockOf(3))
+	if _, err := o2.Check(c2, 60, false); err == nil {
+		t.Fatal("cold start with dirty image not flagged")
+	}
+}
+
+// Check end-to-end against a real controller: crash after a drained
+// checkpoint must land exactly on it.
+func TestCheckEndToEnd(t *testing.T) {
+	c := testCtrl()
+	o := New()
+	now := mem.Cycle(0)
+	for i := 0; i < 16; i++ {
+		addr := uint64(i) * mem.BlockSize
+		now = c.WriteBlock(now, addr, blockOf(byte(i+1)))
+		o.RecordWrite(addr, mem.BlockSize)
+	}
+	o.Capture(c, "boundary", now)
+	resume := c.BeginCheckpoint(now, nil)
+	now = c.DrainCheckpoint(resume)
+	o.SetCommitted(0, now)
+	now = c.WriteBlock(now, 0, blockOf(200))
+	crashAt := now
+	c.Crash(crashAt)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := o.Check(c, crashAt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("Check matched snapshot %d, want 0", idx)
+	}
+}

@@ -35,6 +35,11 @@ type Scale struct {
 	BTTSweep []int
 	// Seed makes all workloads deterministic.
 	Seed int64
+	// Backing selects the NVM storage backend for every simulation of a
+	// sweep. The zero value is the heap backend; with BackendMmap each
+	// cell gets its own temporary image file, removed when the cell
+	// finishes. Results are byte-identical across backends.
+	Backing StorageSpec
 	// Parallel is the number of simulations run concurrently during a
 	// sweep. It is execution policy, not experiment size: every cell of a
 	// sweep builds its own machine, generator and telemetry recorder, and
@@ -85,6 +90,7 @@ func (sc Scale) options() Options {
 	o := DefaultOptions()
 	o.PhysBytes = sc.PhysBytes
 	o.EpochLen = sc.EpochLen
+	o.Backing = sc.Backing
 	return o
 }
 
@@ -100,7 +106,7 @@ func (sc Scale) runMicroCell(workload string, kind SystemKind, opts Options) (Re
 	}
 	res := sys.Run(g)
 	sys.Drain()
-	return res, nil
+	return res, sys.Close()
 }
 
 func (sc Scale) micro(name string) (Generator, error) {
@@ -300,6 +306,7 @@ func runOneKV(sc Scale, storeName string, size int, kind SystemKind) (KVResult, 
 	if err != nil {
 		return KVResult{}, err
 	}
+	defer sys.Close()
 	// The arena must hold preload+tx values plus nodes.
 	arenaSize := uint64(sc.KVTx+sc.KVPreload)*(uint64(size)+128)*2 + (1 << 20)
 	if arenaSize > sc.PhysBytes/2 {
@@ -427,7 +434,7 @@ func RunFig11(sc Scale) (*Table, error) {
 		}
 		res := sys.Run(g)
 		sys.Drain()
-		return res.IPC, nil
+		return res.IPC, sys.Close()
 	})
 	if err != nil {
 		return nil, err
@@ -471,6 +478,7 @@ func RunFig12(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer sys.Close()
 		// 1 KB requests: large enough that the working set exceeds the CPU
 		// caches and the BTT actually comes under pressure.
 		size := 1024

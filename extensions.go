@@ -51,7 +51,7 @@ func RunEpochSweep(sc Scale, epochs []time.Duration) (*Table, error) {
 		}
 		res := sys.Run(SlidingWorkload(sc.MicroFootprint, sc.MicroOps, sc.Seed))
 		sys.Drain()
-		return out{res, sys.Stats().Commits}, nil
+		return out{res, sys.Stats().Commits}, sys.Close()
 	})
 	if err != nil {
 		return nil, err
@@ -89,6 +89,7 @@ func RunRecoveryLatency(sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer sys.Close()
 		oracle := NewOracle()
 		sys.PreCheckpoint = func(m *Machine) {
 			oracle.Capture(m.Controller(), "boundary", m.Now())

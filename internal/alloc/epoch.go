@@ -1,0 +1,76 @@
+// Epoch arena: scratch memory whose lifetime is one controller epoch.
+//
+// Unlike Arena (which allocates simulated address space for workloads),
+// EpochArena manages the simulator's OWN per-epoch metadata — checkpoint
+// work lists, sorted-entry snapshots, table-serialization blobs — so that
+// steady-state epochs allocate nothing: every region keeps its backing
+// array across epochs and is reset wholesale at the epoch boundary.
+package alloc
+
+// epochRegion is the untyped view an arena keeps of its regions.
+type epochRegion interface {
+	// resetEpoch empties the region and zeroes its retained backing array
+	// so pointers held by the previous epoch's scratch are released.
+	resetEpoch()
+}
+
+// EpochArena groups typed regions that share an epoch lifetime. Reset at
+// the epoch boundary empties all of them at once; their backing arrays
+// survive, so regions refilled to a previously reached size allocate
+// nothing. The zero value is ready to use.
+type EpochArena struct {
+	regions []epochRegion
+}
+
+// Reset empties every attached region, retaining capacity. Call it at the
+// epoch boundary, after the last consumer of the epoch's scratch.
+func (a *EpochArena) Reset() {
+	for _, r := range a.regions {
+		r.resetEpoch()
+	}
+}
+
+// Region is a typed scratch slice attached to an arena. The usage pattern
+// is grab / fill / keep:
+//
+//	s := r.Grab()            // empty slice over the retained backing array
+//	s = append(s, ...)       // fill; growth reallocates like any slice
+//	return r.Keep(s)         // hand the (possibly grown) array back
+//
+// Keep is what makes growth amortize to zero: once the backing array has
+// reached the epoch's steady-state size, every later Grab reuses it. A
+// grabbed slice aliases the region — it is valid until the next Grab or
+// the arena's Reset, which is exactly the epoch-scratch lifetime.
+type Region[T any] struct {
+	buf []T
+}
+
+// NewRegion attaches a fresh region to arena a.
+func NewRegion[T any](a *EpochArena, capHint int) *Region[T] {
+	r := &Region[T]{buf: make([]T, 0, capHint)}
+	a.regions = append(a.regions, r)
+	return r
+}
+
+// Grab returns the region's backing array as an empty slice, ready to
+// fill. Zero-alloc once the array has grown to its steady-state size.
+//
+//thynvm:hotpath
+func (r *Region[T]) Grab() []T {
+	return r.buf[:0]
+}
+
+// Keep stores s (typically a grown descendant of the last Grab) as the
+// region's backing array and returns it, so future Grabs reuse the larger
+// array.
+//
+//thynvm:hotpath
+func (r *Region[T]) Keep(s []T) []T {
+	r.buf = s
+	return s
+}
+
+func (r *Region[T]) resetEpoch() {
+	clear(r.buf[:cap(r.buf)])
+	r.buf = r.buf[:0]
+}

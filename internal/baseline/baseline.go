@@ -38,6 +38,11 @@ type Config struct {
 	// DRAM and NVM are device timing specs.
 	DRAM mem.DeviceSpec
 	NVM  mem.DeviceSpec
+	// NVMBacking selects the persistent device's storage backend (heap by
+	// default, or an mmap-backed image file). For the ideal systems it
+	// applies to their single main-memory device, which plays the
+	// persistent role; DRAM buffers stay heap-backed.
+	NVMBacking mem.StorageSpec
 }
 
 // DefaultConfig mirrors the paper's evaluated configuration.

@@ -31,7 +31,11 @@ func NewIdealDRAM(cfg Config) (*Ideal, error) {
 	}
 	spec := cfg.DRAM
 	spec.Volatile = false // idealized: contents survive by assumption
-	return &Ideal{cfg: cfg, dev: mem.NewDevice(spec), name: "Ideal DRAM"}, nil
+	store, err := mem.NewBackedStorage(cfg.NVMBacking)
+	if err != nil {
+		return nil, err
+	}
+	return &Ideal{cfg: cfg, dev: mem.NewDeviceStorage(spec, store), name: "Ideal DRAM"}, nil
 }
 
 // NewIdealNVM builds the NVM-only ideal system.
@@ -39,11 +43,19 @@ func NewIdealNVM(cfg Config) (*Ideal, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ideal{cfg: cfg, dev: mem.NewDevice(cfg.NVM), name: "Ideal NVM"}, nil
+	store, err := mem.NewBackedStorage(cfg.NVMBacking)
+	if err != nil {
+		return nil, err
+	}
+	return &Ideal{cfg: cfg, dev: mem.NewDeviceStorage(cfg.NVM, store), name: "Ideal NVM"}, nil
 }
 
 // Name identifies the system in reports.
 func (s *Ideal) Name() string { return s.name }
+
+// NVMStorage exposes the main-memory device's backing store (the
+// persistent medium of an ideal system) for backend-level operations.
+func (s *Ideal) NVMStorage() *mem.Storage { return s.dev.Storage() }
 
 // LoadHome pre-loads initial data, bypassing timing.
 func (s *Ideal) LoadHome(addr uint64, data []byte) { s.dev.Poke(addr, data) }

@@ -3,6 +3,7 @@ package baseline
 import (
 	"encoding/binary"
 
+	"thynvm/internal/alloc"
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
@@ -24,6 +25,13 @@ type Journal struct {
 	dramBump  uint64
 	freeSlots []uint64
 
+	// Per-epoch scratch (journal blob, dirty-index work list) shares the
+	// controller's epoch-arena discipline: reset wholesale after each
+	// commit so steady-state epochs allocate nothing.
+	epoch       alloc.EpochArena
+	idxScratch  *alloc.Region[uint64]
+	blobScratch *alloc.Region[byte]
+
 	headerAddr [2]uint64
 	blobArea   [2]struct{ addr, size uint64 }
 	nvmBump    uint64
@@ -43,11 +51,17 @@ func NewJournal(cfg Config) (*Journal, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nvmStore, err := mem.NewBackedStorage(cfg.NVMBacking)
+	if err != nil {
+		return nil, err
+	}
 	j := &Journal{
 		cfg:  cfg,
-		nvm:  mem.NewDevice(cfg.NVM),
+		nvm:  mem.NewDeviceStorage(cfg.NVM, nvmStore),
 		dram: mem.NewDevice(cfg.DRAM),
 	}
+	j.idxScratch = alloc.NewRegion[uint64](&j.epoch, cfg.JournalEntries)
+	j.blobScratch = alloc.NewRegion[byte](&j.epoch, 4096)
 	j.headerAddr[0] = cfg.PhysBytes
 	j.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
 	j.nvmBump = cfg.PhysBytes + mem.PageSize
@@ -56,6 +70,10 @@ func NewJournal(cfg Config) (*Journal, error) {
 
 // Name identifies the system in reports.
 func (j *Journal) Name() string { return "Journal" }
+
+// NVMStorage exposes the NVM device's backing store for backend-level
+// operations on mmap-backed images.
+func (j *Journal) NVMStorage() *mem.Storage { return j.nvm.Storage() }
 
 // LoadHome pre-loads initial data, bypassing timing.
 func (j *Journal) LoadHome(addr uint64, data []byte) { j.nvm.Poke(addr, data) }
@@ -141,9 +159,14 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	}
 	// Serialize the redo journal: CPU state + (block, data) records, in
 	// deterministic block order (the table scans in ascending key order).
-	idxs := j.dirty.Keys()
+	idxs := j.idxScratch.Grab()
+	j.dirty.Scan(func(k, _ uint64) bool {
+		idxs = append(idxs, k)
+		return true
+	})
+	idxs = j.idxScratch.Keep(idxs)
 
-	blob := make([]byte, 0, 16+len(cpuState)+len(idxs)*(8+mem.BlockSize))
+	blob := j.blobScratch.Grab()
 	var u64 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u64[:], v)
@@ -163,6 +186,7 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		put(idx)
 		blob = append(blob, blockBuf[:]...)
 	}
+	blob = j.blobScratch.Keep(blob)
 
 	// Write journal blob to the backup region, then the commit header.
 	area := &j.blobArea[j.seq%2]
@@ -190,8 +214,9 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		slot, _ := j.dirty.Get(idx)
 		j.freeSlots = append(j.freeSlots, slot)
 	}
-	j.dirty.Reset()
+	j.dirty.Clear() // retain leaves: the table refills every epoch
 	j.overflow = false
+	j.epoch.Reset()
 
 	// Stop-the-world: execution resumes when everything is durable.
 	j.stats.Epochs++

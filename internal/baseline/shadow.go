@@ -3,6 +3,7 @@ package baseline
 import (
 	"encoding/binary"
 
+	"thynvm/internal/alloc"
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
@@ -25,6 +26,13 @@ type Shadow struct {
 	pages    radix.Table[*shadowPage]
 	dramBump uint64
 	freeDRAM []uint64
+
+	// Per-epoch scratch (sorted-page snapshot, page-table blob), reset
+	// wholesale after each commit; see the epoch-arena discipline in
+	// internal/alloc.
+	epoch       alloc.EpochArena
+	pageScratch *alloc.Region[*shadowPage]
+	blobScratch *alloc.Region[byte]
 
 	headerAddr [2]uint64
 	blobArea   [2]struct{ addr, size uint64 }
@@ -56,11 +64,17 @@ func NewShadow(cfg Config) (*Shadow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nvmStore, err := mem.NewBackedStorage(cfg.NVMBacking)
+	if err != nil {
+		return nil, err
+	}
 	s := &Shadow{
 		cfg:  cfg,
-		nvm:  mem.NewDevice(cfg.NVM),
+		nvm:  mem.NewDeviceStorage(cfg.NVM, nvmStore),
 		dram: mem.NewDevice(cfg.DRAM),
 	}
+	s.pageScratch = alloc.NewRegion[*shadowPage](&s.epoch, cfg.DRAMPages)
+	s.blobScratch = alloc.NewRegion[byte](&s.epoch, 4096)
 	s.headerAddr[0] = cfg.PhysBytes
 	s.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
 	s.nvmBump = cfg.PhysBytes + mem.PageSize
@@ -69,6 +83,10 @@ func NewShadow(cfg Config) (*Shadow, error) {
 
 // Name identifies the system in reports.
 func (s *Shadow) Name() string { return "Shadow" }
+
+// NVMStorage exposes the NVM device's backing store for backend-level
+// operations on mmap-backed images.
+func (s *Shadow) NVMStorage() *mem.Storage { return s.nvm.Storage() }
 
 // LoadHome pre-loads initial data, bypassing timing.
 func (s *Shadow) LoadHome(addr uint64, data []byte) { s.nvm.Poke(addr, data) }
@@ -94,12 +112,12 @@ func (s *Shadow) allocShadowSlot() uint64 {
 }
 
 func (s *Shadow) sortedPages() []*shadowPage {
-	out := make([]*shadowPage, 0, s.pages.Len())
+	out := s.pageScratch.Grab()
 	s.pages.Scan(func(_ uint64, p *shadowPage) bool {
 		out = append(out, p)
 		return true
 	})
-	return out
+	return s.pageScratch.Keep(out)
 }
 
 // ReadBlock implements ctl.Controller: DRAM if buffered, else the committed
@@ -214,7 +232,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		p.dirty = false
 	}
 	// Commit the page table.
-	blob := make([]byte, 0, 16+len(cpuState)+s.pages.Len()*16)
+	blob := s.blobScratch.Grab()
 	var u64 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u64[:], v)
@@ -235,6 +253,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 			put(p.committed)
 		}
 	}
+	blob = s.blobScratch.Keep(blob)
 	area := &s.blobArea[s.seq%2]
 	if uint64(len(blob)) > area.size {
 		need := (uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
@@ -265,6 +284,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		rec.EndSpan(obs.TrackCkpt, uint64(blobDone))
 		rec.EndSpan(obs.TrackCkpt, uint64(commitDone))
 	}
+	s.epoch.Reset()
 	return commitDone
 }
 

@@ -178,8 +178,8 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	}
 	c.execWriteMaxDone = 0
 
-	header := encodeHeader(c.seq, area.addr, uint64(len(blob)), fnv64(blob))
-	_, commitDone := c.nvm.WriteAt(now, maxDone, c.headerAddr[c.seq%2], header, mem.SrcCheckpoint)
+	encodeHeaderInto(c.hdrBuf[:], c.seq, area.addr, uint64(len(blob)), fnv64(blob))
+	_, commitDone := c.nvm.WriteAt(now, maxDone, c.headerAddr[c.seq%2], c.hdrBuf[:], mem.SrcCheckpoint)
 	c.seq++
 	c.ckptInFlight = true
 	c.commitDone = commitDone
@@ -212,9 +212,17 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	})
 	// Migration decisions use the ending epoch's counts; the next epoch
 	// starts from half of them (an EWMA) so that short, pressure-forced
-	// epochs do not undersample page hotness.
+	// epochs do not undersample page hotness. The counter table consumed
+	// two epochs ago is recycled (structure retained, occupancy cleared),
+	// so the seal allocates nothing at steady state.
+	next := c.pageStoresFree
+	c.pageStoresFree = nil
+	if next == nil {
+		next = &radix.Table[uint32]{}
+	} else {
+		next.Clear()
+	}
 	c.lastPageStores = c.pageStores
-	next := &radix.Table[uint32]{}
 	c.pageStores.Scan(func(p uint64, v uint32) bool {
 		if v >= 2 {
 			next.Set(p, v/2)
@@ -364,7 +372,12 @@ func (c *Controller) finalize() {
 	if c.cfg.Mode == ModeDual {
 		c.migrate(at)
 	}
+	// The sealed epoch's counts are fully consumed; park the table for
+	// recycling at the next seal, and reset the epoch arena wholesale —
+	// every per-epoch work list and snapshot is dead past this point.
+	c.pageStoresFree = c.lastPageStores
 	c.lastPageStores = nil
+	c.epoch.Reset()
 
 	// Allocation pressure may have eased.
 	if c.blocks.Len() < c.cfg.BTTEntries-c.cfg.WatermarkEntries &&
@@ -466,13 +479,14 @@ func (c *Controller) migrate(at mem.Cycle) {
 	// Block remapping -> page writeback for densely written pages. The
 	// store-count scan is already in ascending page order.
 	var blockBuf [mem.BlockSize]byte
-	hotPages := make([]uint64, 0, c.lastPageStores.Len())
+	hotPages := c.hotScratch.Grab()
 	c.lastPageStores.Scan(func(pageIdx uint64, count uint32) bool {
 		if int(count) >= c.cfg.SwitchToPage {
 			hotPages = append(hotPages, pageIdx)
 		}
 		return true
 	})
+	hotPages = c.hotScratch.Keep(hotPages)
 	for _, pageIdx := range hotPages {
 		if pe, ok := c.pages.Get(pageIdx); ok && !pe.dying {
 			continue // already page-managed

@@ -100,6 +100,10 @@ type Config struct {
 	// DRAM and NVM are the device timing specs.
 	DRAM mem.DeviceSpec
 	NVM  mem.DeviceSpec
+	// NVMBacking selects the NVM storage backend (heap by default, or an
+	// mmap-backed image file). DRAM is always heap-backed: it is volatile
+	// and small.
+	NVMBacking mem.StorageSpec
 }
 
 // DefaultConfig returns the paper's evaluated configuration (Table 2):

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"thynvm/internal/alloc"
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
@@ -55,6 +56,19 @@ type Controller struct {
 
 	pageStores     *radix.Table[uint32] // per-page store counts, current epoch
 	lastPageStores *radix.Table[uint32] // counts from the epoch being checkpointed
+	pageStoresFree *radix.Table[uint32] // consumed counter table, recycled at the next epoch seal
+
+	// Per-epoch metadata scratch — checkpoint work lists, sorted-entry
+	// snapshots, the serialized-table blob — lives in an epoch arena so
+	// steady-state epochs allocate nothing; finalize resets it wholesale.
+	epoch        alloc.EpochArena
+	blockScratch *alloc.Region[*blockEntry]
+	pageScratch  *alloc.Region[*pageEntry]
+	hotScratch   *alloc.Region[uint64]
+	brecScratch  *alloc.Region[tableRec]
+	precScratch  *alloc.Region[tableRec]
+	blobScratch  *alloc.Region[byte]
+	hdrBuf       [headerSize]byte
 
 	// recoverCut, when non-zero, is a one-shot power-failure instant on the
 	// next Recover's timeline (crash-during-recovery torture).
@@ -71,18 +85,32 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nvmStore, err := mem.NewBackedStorage(cfg.NVMBacking)
+	if err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		cfg:        cfg,
-		nvm:        mem.NewDevice(cfg.NVM),
+		nvm:        mem.NewDeviceStorage(cfg.NVM, nvmStore),
 		dram:       mem.NewDevice(cfg.DRAM),
 		pageStores: &radix.Table[uint32]{},
 	}
+	c.blockScratch = alloc.NewRegion[*blockEntry](&c.epoch, cfg.BTTEntries)
+	c.pageScratch = alloc.NewRegion[*pageEntry](&c.epoch, cfg.PTTEntries)
+	c.hotScratch = alloc.NewRegion[uint64](&c.epoch, 64)
+	c.brecScratch = alloc.NewRegion[tableRec](&c.epoch, cfg.BTTEntries)
+	c.precScratch = alloc.NewRegion[tableRec](&c.epoch, cfg.PTTEntries)
+	c.blobScratch = alloc.NewRegion[byte](&c.epoch, 4096)
 	c.headerAddr[0] = cfg.PhysBytes
 	c.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
 	c.nvmBumpStart = cfg.PhysBytes + mem.PageSize
 	c.nvmBump = c.nvmBumpStart
 	return c, nil
 }
+
+// NVMStorage exposes the NVM device's backing store for backend-level
+// operations (Sync, Snapshot, Close on mmap-backed images).
+func (c *Controller) NVMStorage() *mem.Storage { return c.nvm.Storage() }
 
 // MustNew is New for known-good configs (tests, examples).
 func MustNew(cfg Config) *Controller {
@@ -655,20 +683,23 @@ func (c *Controller) MetadataKind(addr uint64) ctl.MetadataKind {
 // schedule. The radix tables scan in ascending key order by construction,
 // so this is a straight collect with no sort. The returned slice is a
 // snapshot: callers may insert or delete entries while walking it.
+// Each call grabs the controller's epoch-arena scratch, so the previous
+// call's snapshot is invalidated — callers never hold two block (or two
+// page) snapshots at once.
 func (c *Controller) sortedBlocks() []*blockEntry {
-	out := make([]*blockEntry, 0, c.blocks.Len())
+	out := c.blockScratch.Grab()
 	c.blocks.Scan(func(_ uint64, e *blockEntry) bool {
 		out = append(out, e)
 		return true
 	})
-	return out
+	return c.blockScratch.Keep(out)
 }
 
 func (c *Controller) sortedPages() []*pageEntry {
-	out := make([]*pageEntry, 0, c.pages.Len())
+	out := c.pageScratch.Grab()
 	c.pages.Scan(func(_ uint64, e *pageEntry) bool {
 		out = append(out, e)
 		return true
 	})
-	return out
+	return c.pageScratch.Keep(out)
 }

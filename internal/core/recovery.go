@@ -36,13 +36,19 @@ func fnv64(b []byte) uint64 {
 
 func encodeHeader(seq, tableAddr, tableLen, tableSum uint64) []byte {
 	h := make([]byte, headerSize)
+	encodeHeaderInto(h, seq, tableAddr, tableLen, tableSum)
+	return h
+}
+
+// encodeHeaderInto is encodeHeader writing into a caller-owned buffer of
+// at least headerSize bytes (the commit path reuses one per controller).
+func encodeHeaderInto(h []byte, seq, tableAddr, tableLen, tableSum uint64) {
 	binary.LittleEndian.PutUint64(h[0:], headerMagic)
 	binary.LittleEndian.PutUint64(h[8:], seq)
 	binary.LittleEndian.PutUint64(h[16:], tableAddr)
 	binary.LittleEndian.PutUint64(h[24:], tableLen)
 	binary.LittleEndian.PutUint64(h[32:], tableSum)
 	binary.LittleEndian.PutUint64(h[40:], fnv64(h[:40]))
-	return h
 }
 
 type header struct {
@@ -70,14 +76,17 @@ func decodeHeader(b []byte) (header, bool) {
 	}, true
 }
 
+// tableRec is one serialized translation entry: physical index and the
+// slot address holding its committed data.
+type tableRec struct{ phys, slot uint64 }
+
 // serializeTables builds the persistent form of the BTT and PTT: for every
 // entry whose post-commit checkpoint will live outside the Home region, the
 // physical index and the slot address. Entries checkpointed into Home are
 // omitted — recovery falls back to Home for anything untracked, which is
 // also what lets idle entries be freed.
 func (c *Controller) serializeTables(cpuState []byte) []byte {
-	type rec struct{ phys, slot uint64 }
-	var brecs, precs []rec
+	brecs, precs := c.brecScratch.Grab(), c.precScratch.Grab()
 	for _, e := range c.sortedBlocks() {
 		if e.overlay || e.dying {
 			continue
@@ -93,8 +102,9 @@ func (c *Controller) serializeTables(cpuState []byte) []byte {
 		if slot == e.homeAddr {
 			continue
 		}
-		brecs = append(brecs, rec{e.phys, slot})
+		brecs = append(brecs, tableRec{e.phys, slot})
 	}
+	brecs = c.brecScratch.Keep(brecs)
 	for _, e := range c.sortedPages() {
 		if e.dying {
 			continue
@@ -109,10 +119,11 @@ func (c *Controller) serializeTables(cpuState []byte) []byte {
 		if slot == e.homeAddr {
 			continue
 		}
-		precs = append(precs, rec{e.phys, slot})
+		precs = append(precs, tableRec{e.phys, slot})
 	}
+	precs = c.precScratch.Keep(precs)
 
-	blob := make([]byte, 0, 8+8+4+len(cpuState)+8+16*(len(brecs)+len(precs)))
+	blob := c.blobScratch.Grab()
 	var u64 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u64[:], v)
@@ -132,7 +143,7 @@ func (c *Controller) serializeTables(cpuState []byte) []byte {
 		put(r.phys)
 		put(r.slot)
 	}
-	return blob
+	return c.blobScratch.Keep(blob)
 }
 
 type tableImage struct {

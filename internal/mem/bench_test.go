@@ -91,3 +91,38 @@ func BenchmarkDeviceWriteBlock(b *testing.B) {
 		now = d.Write(now, uint64(i*31*BlockSize)%span, buf[:], SrcCPU)
 	}
 }
+
+// BenchmarkDeviceSettlePerAccess retires the posted-write queue after
+// every single write — the pre-batching behavior, where each access paid
+// a settle walk. Contrast with BenchmarkDeviceSettleBatch.
+func BenchmarkDeviceSettlePerAccess(b *testing.B) {
+	d := NewDevice(NVMSpec())
+	var buf [BlockSize]byte
+	const span = 16 << 20
+	now := Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = d.Write(now, uint64(i*31*BlockSize)%span, buf[:], SrcCPU)
+		now = d.Flush(now)
+	}
+}
+
+// BenchmarkDeviceSettleBatch posts a full queue of writes and retires them
+// in one settleBatch run — the batched epoch-pipeline pattern. Reported
+// per write for direct comparison with BenchmarkDeviceSettlePerAccess.
+func BenchmarkDeviceSettleBatch(b *testing.B) {
+	d := NewDevice(NVMSpec())
+	var buf [BlockSize]byte
+	const span = 16 << 20
+	const batch = 48 // below the queue cap, so no stall path interferes
+	now := Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			now = d.Write(now, uint64((i+j)*31*BlockSize)%span, buf[:], SrcCPU)
+		}
+		now = d.Flush(now)
+	}
+}

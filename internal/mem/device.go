@@ -1,6 +1,10 @@
 package mem
 
-import "thynvm/internal/obs"
+import (
+	"sort"
+
+	"thynvm/internal/obs"
+)
 
 // bank models one independently timed device bank.
 //
@@ -21,13 +25,26 @@ type bank struct {
 	writeReadyAt  Cycle // earliest cycle the bank can begin draining a write
 }
 
-// pendingWrite is a posted write that has been scheduled on a bank but is
-// not yet durable (its completion lies in the future).
-type pendingWrite struct {
+// pendingMeta describes a posted write that has been scheduled on a bank
+// but is not yet durable (its completion lies in the future). seq is the
+// posting order (1-based, unique per device): the queue itself is kept
+// sorted by completion cycle, so seq is what preserves program order
+// wherever it is observable — overlapping forwards, crash replay, settle
+// batches. The payload lives in Device.slots[slot] (n caches its length):
+// keeping the metadata pointer-free means sifting and compacting the
+// queue moves plain words, with no GC write barriers.
+type pendingMeta struct {
 	addr uint64
-	data []byte
 	done Cycle
+	seq  uint64
+	slot int32
+	n    int32
 }
+
+// pendBuckets sizes the direct-mapped page-granular occupancy filter that
+// lets reads skip the pending-queue scan. Power of two; 4096 buckets cover
+// 16 MiB of distinct pages before aliasing.
+const pendBuckets = 4096
 
 // WriteFault intercepts a posted write before it enters the queue (fault
 // injection; silent-corruption model: the device acknowledges the full
@@ -67,13 +84,33 @@ type DeviceStats struct {
 // On a crash, writes that have not completed are lost; volatile devices
 // additionally lose all contents.
 type Device struct {
-	spec    DeviceSpec
-	banks   []bank
-	store   *Storage
-	pending []pendingWrite
-	minDone Cycle    // earliest completion among pending writes (valid when pending is non-empty)
-	free    [][]byte // recycled posted-write buffers, reused by WriteAt
-	stats   DeviceStats
+	spec  DeviceSpec
+	banks []bank
+	store *Storage
+
+	// The posted-write queue is a completion-ordered run: pq[head:] is
+	// sorted by done (ties in posting order), so settleBatch retires whole
+	// completed runs as prefix pops instead of rescanning the queue, and
+	// minDone is simply the head entry's completion. Entries [0,head) are
+	// retired and reclaimed by periodic compaction. Payloads sit in slots
+	// (stable while the write is in flight, indices recycled through
+	// freeSlot) so queue maintenance never moves pointers.
+	pq       []pendingMeta
+	head     int
+	slots    [][]byte
+	freeSlot []int32
+	seqCtr   uint64   // posting counter; next write gets seqCtr+1
+	minDone  Cycle    // pq[head].done (valid when the live run is non-empty)
+	free     [][]byte // recycled posted-write buffers, reused by WriteAt
+
+	// pendCnt counts live pending writes per direct-mapped page bucket
+	// (incremented on post, decremented on retire). Reads consult it to
+	// skip the queue scan when no live write can overlap them; aliasing
+	// 4096 pages apart only costs a redundant scan, never a missed
+	// forward.
+	pendCnt [pendBuckets]uint16
+
+	stats DeviceStats
 
 	// Fault-injection hooks (crash-torture); nil in normal operation.
 	writeFault WriteFault
@@ -88,8 +125,15 @@ type Device struct {
 	track     obs.TrackID
 }
 
-// NewDevice creates a device with the given spec and empty contents.
+// NewDevice creates a device with the given spec and empty heap-backed
+// contents.
 func NewDevice(spec DeviceSpec) *Device {
+	return NewDeviceStorage(spec, NewStorage())
+}
+
+// NewDeviceStorage creates a device whose contents live in store — a heap
+// storage, or an mmap-backed one from NewBackedStorage.
+func NewDeviceStorage(spec DeviceSpec, store *Storage) *Device {
 	if spec.Banks <= 0 {
 		spec.Banks = 1
 	}
@@ -102,7 +146,7 @@ func NewDevice(spec DeviceSpec) *Device {
 	d := &Device{
 		spec:  spec,
 		banks: make([]bank, spec.Banks),
-		store: NewStorage(),
+		store: store,
 	}
 	for i := range d.banks {
 		d.banks[i].readRow = -1
@@ -113,6 +157,10 @@ func NewDevice(spec DeviceSpec) *Device {
 
 // Spec returns the device's timing specification.
 func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Storage returns the device's backing store (for backend-level operations
+// such as Sync, Snapshot and Close on mmap-backed devices).
+func (d *Device) Storage() *Storage { return d.store }
 
 // SetRecorder attaches a telemetry recorder; read and write access
 // latencies are observed into the given histograms. Passing nil (or a
@@ -192,33 +240,74 @@ func (d *Device) access(now Cycle, addr uint64, write bool) (done Cycle) {
 
 // settle applies every pending write that has completed by cycle now.
 //
-// The minDone fast path skips the queue scan entirely while no completion
-// has been reached — the overwhelmingly common case, since callers settle
-// on every access but writes take hundreds of cycles to drain. Skipping is
+// The minDone fast path skips the queue entirely while no completion has
+// been reached — the overwhelmingly common case, since callers settle on
+// every access but writes take hundreds of cycles to drain. Skipping is
 // unobservable: reads forward pending data over stored bytes (same result
-// as applying eagerly), and the apply itself is order-insensitive here
-// because a settle batch is replayed in posting order.
+// as applying eagerly). The heavy lifting lives out of line in settleBatch
+// so this wrapper stays within the inline budget of its hot callers.
 //
 //thynvm:hotpath
 func (d *Device) settle(now Cycle) {
-	if len(d.pending) == 0 || now < d.minDone {
+	if d.head == len(d.pq) || now < d.minDone {
 		return
 	}
-	kept := d.pending[:0]
-	var min Cycle
-	for _, pw := range d.pending {
-		if pw.done <= now {
-			d.store.Write(pw.addr, pw.data)
-			d.recycle(pw.data)
-		} else {
-			if len(kept) == 0 || pw.done < min {
-				min = pw.done
+	d.settleBatch(now)
+}
+
+// settleBatch retires the completed run at the head of the queue: because
+// pending[head:] is completion-ordered, the writes durable by now form a
+// prefix, popped in one walk instead of the old full-queue rescan per
+// retirement. The batch is applied to the store in posting (seq) order —
+// the same set and the same relative order the posting-ordered queue
+// replayed per settle call — so store contents stay byte-identical by
+// construction even when completion order inverts posting order across
+// banks. The watermark generalizes to the run boundary: the first entry
+// left alive.
+//
+//thynvm:hotpath
+func (d *Device) settleBatch(now Cycle) {
+	h, n := d.head, len(d.pq)
+	end := h
+	for end < n && d.pq[end].done <= now {
+		end++
+	}
+	// Completion ties across banks can invert posting order inside the
+	// batch; restore seq order (almost always already sorted — one compare
+	// per entry) before applying.
+	for i := h + 1; i < end; i++ {
+		if d.pq[i].seq < d.pq[i-1].seq {
+			m := d.pq[i]
+			j := i
+			for j > h && d.pq[j-1].seq > m.seq {
+				d.pq[j] = d.pq[j-1]
+				j--
 			}
-			kept = append(kept, pw)
+			d.pq[j] = m
 		}
 	}
-	d.pending = kept
-	d.minDone = min
+	for i := h; i < end; i++ {
+		m := &d.pq[i]
+		buf := d.slots[m.slot]
+		d.store.Write(m.addr, buf)
+		d.retireCnt(m.addr, int(m.n))
+		d.recycle(buf)
+		d.freeSlot = append(d.freeSlot, m.slot)
+	}
+	if end == n {
+		d.pq = d.pq[:0]
+		d.head = 0
+		return
+	}
+	d.head = end
+	d.minDone = d.pq[end].done
+	// Reclaim the retired prefix once it dominates the slice, amortizing
+	// the copy over at least as many pops.
+	if end >= 32 && end*2 >= n {
+		live := copy(d.pq, d.pq[end:n])
+		d.pq = d.pq[:live]
+		d.head = 0
+	}
 }
 
 // recycle returns a drained posted-write buffer to the free list for reuse.
@@ -261,11 +350,7 @@ func (d *Device) Read(now Cycle, addr uint64, buf []byte) Cycle {
 		}
 	}
 	d.store.Read(addr, buf)
-	// Forward younger posted writes over the stored bytes, oldest first so
-	// the newest write to an overlapping range wins.
-	for _, pw := range d.pending {
-		forward(addr, buf, pw.addr, pw.data)
-	}
+	d.forwardPending(addr, buf)
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(len(buf))
 	if d.recOn {
@@ -300,15 +385,95 @@ func (d *Device) ReadBackground(now Cycle, addr uint64, buf []byte) Cycle {
 		}
 	}
 	d.store.Read(addr, buf)
-	for _, pw := range d.pending {
-		forward(addr, buf, pw.addr, pw.data)
-	}
+	d.forwardPending(addr, buf)
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(len(buf))
 	if d.recOn {
 		d.rec.Latency(d.readHist, uint64(done-now))
 	}
 	return done
+}
+
+// postCnt registers a freshly posted write's pages in the occupancy
+// filter.
+//
+//thynvm:hotpath
+func (d *Device) postCnt(addr uint64, n int) {
+	for a := PageAlign(addr); a < addr+uint64(n); a += PageSize {
+		d.pendCnt[(a/PageSize)&(pendBuckets-1)]++
+	}
+}
+
+// retireCnt removes a retired (or crashed-away) write's pages from the
+// occupancy filter; it must mirror postCnt exactly.
+//
+//thynvm:hotpath
+func (d *Device) retireCnt(addr uint64, n int) {
+	for a := PageAlign(addr); a < addr+uint64(n); a += PageSize {
+		d.pendCnt[(a/PageSize)&(pendBuckets-1)]--
+	}
+}
+
+// forwardPending overlays still-queued write data onto buf. The queue is
+// completion-ordered, but forwarding must honor posting order (the newest
+// write to an overlapping range wins), so when more than one live entry
+// overlaps the read the overlay is replayed in ascending seq — a
+// selection walk rather than a sort, since overlap counts above one are
+// rare and tiny. Zero or one overlap — the common cases — skip straight
+// through.
+//
+//thynvm:hotpath
+func (d *Device) forwardPending(addr uint64, buf []byte) {
+	n := len(d.pq)
+	if d.head == n {
+		return
+	}
+	end := addr + uint64(len(buf))
+	hit := false
+	for a := PageAlign(addr); a < end; a += PageSize {
+		if d.pendCnt[(a/PageSize)&(pendBuckets-1)] != 0 {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return
+	}
+	first, count := 0, 0
+	for i := d.head; i < n; i++ {
+		m := &d.pq[i]
+		if m.addr < end && addr < m.addr+uint64(m.n) {
+			if count == 0 {
+				first = i
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	if count == 1 {
+		m := &d.pq[first]
+		forward(addr, buf, m.addr, d.slots[m.slot])
+		return
+	}
+	var last uint64 // seqs are 1-based, so 0 means none applied yet
+	for k := 0; k < count; k++ {
+		best := first
+		var bestSeq uint64
+		for i := first; i < n; i++ {
+			m := &d.pq[i]
+			if m.addr >= end || addr >= m.addr+uint64(m.n) {
+				continue
+			}
+			if m.seq > last && (bestSeq == 0 || m.seq < bestSeq) {
+				best, bestSeq = i, m.seq
+			}
+		}
+		m := &d.pq[best]
+		forward(addr, buf, m.addr, d.slots[m.slot])
+		last = bestSeq
+	}
 }
 
 // forward overlays src data (at srcAddr) onto dst (at dstAddr) where the
@@ -355,7 +520,7 @@ func (d *Device) WriteWithCompletion(now Cycle, addr uint64, data []byte, src Wr
 func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src WriteSource) (ack, done Cycle) {
 	d.settle(now)
 	ack = now
-	if len(d.pending) >= d.spec.WriteQueueCap {
+	if len(d.pq)-d.head >= d.spec.WriteQueueCap {
 		// Stall until the oldest outstanding write completes.
 		if d.minDone > ack {
 			ack = d.minDone
@@ -384,10 +549,30 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 			cp = alt
 		}
 	}
-	d.pending = append(d.pending, pendingWrite{addr: addr, data: cp, done: done})
-	if len(d.pending) == 1 || done < d.minDone {
-		d.minDone = done
+	// Park the payload in a stable slot, then insert its metadata in
+	// completion order (stable on ties, so seq stays ascending among equal
+	// completions). Same-bank writes complete in posting order, so the
+	// sift almost never moves more than a step or two — and it shifts
+	// pointer-free words only.
+	var slot int32
+	if k := len(d.freeSlot) - 1; k >= 0 {
+		slot = d.freeSlot[k]
+		d.freeSlot = d.freeSlot[:k]
+		d.slots[slot] = cp
+	} else {
+		slot = int32(len(d.slots))
+		d.slots = append(d.slots, cp)
 	}
+	d.seqCtr++
+	m := pendingMeta{addr: addr, done: done, seq: d.seqCtr, slot: slot, n: int32(len(cp))}
+	d.pq = append(d.pq, m)
+	i := len(d.pq) - 1
+	for ; i > d.head && d.pq[i-1].done > done; i-- {
+		d.pq[i] = d.pq[i-1]
+	}
+	d.pq[i] = m
+	d.minDone = d.pq[d.head].done
+	d.postCnt(addr, len(cp))
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(len(data))
 	if src >= 0 && src < NumWriteSources {
@@ -403,12 +588,7 @@ func (d *Device) WriteAt(now, issueAt Cycle, addr uint64, data []byte, src Write
 
 // Flush blocks until every posted write is durable and returns that cycle.
 func (d *Device) Flush(now Cycle) Cycle {
-	done := now
-	for _, pw := range d.pending {
-		if pw.done > done {
-			done = pw.done
-		}
-	}
+	done := d.MaxPendingDone(now)
 	d.settle(done)
 	return done
 }
@@ -416,21 +596,19 @@ func (d *Device) Flush(now Cycle) Cycle {
 // MaxPendingDone returns the completion cycle of the latest outstanding
 // posted write, or now if none. Checkpointing uses it to order its commit
 // record after the whole write queue (the paper's "flush the NVM write
-// queue" step) without stalling the issuer.
+// queue" step) without stalling the issuer. Completion order makes this
+// the tail entry — no scan.
 func (d *Device) MaxPendingDone(now Cycle) Cycle {
-	max := now
-	for _, pw := range d.pending {
-		if pw.done > max {
-			max = pw.done
-		}
+	if n := len(d.pq); n > d.head && d.pq[n-1].done > now {
+		return d.pq[n-1].done
 	}
-	return max
+	return now
 }
 
 // PendingWrites reports how many posted writes are not yet durable at now.
 func (d *Device) PendingWrites(now Cycle) int {
 	d.settle(now)
-	return len(d.pending)
+	return len(d.pq) - d.head
 }
 
 // Crash models a power failure at cycle at: posted writes that have not
@@ -439,20 +617,29 @@ func (d *Device) PendingWrites(now Cycle) int {
 func (d *Device) Crash(at Cycle) {
 	// Apply writes durable by the crash instant in posting order (same-
 	// address writes serialize on the same bank, so posting order matches
-	// durability order there), drop the rest.
-	for _, pw := range d.pending {
-		if pw.done <= at {
-			d.store.Write(pw.addr, pw.data)
+	// durability order there), drop the rest. The live run is completion-
+	// ordered, so restore posting order first — it is about to be emptied
+	// anyway, and torn-persist injectors depend on seeing in-flight writes
+	// in the order they were posted.
+	live := d.pq[d.head:]
+	sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+	for _, m := range live {
+		buf := d.slots[m.slot]
+		if m.done <= at {
+			d.store.Write(m.addr, buf)
 		} else if d.crashFault != nil {
 			// In flight at the crash instant: normally lost outright, but a
 			// torn-persist injector may keep a partial/corrupted payload.
-			if keep := d.crashFault(pw.addr, pw.data); len(keep) > 0 {
-				d.store.Write(pw.addr, keep)
+			if keep := d.crashFault(m.addr, buf); len(keep) > 0 {
+				d.store.Write(m.addr, keep)
 			}
 		}
-		d.recycle(pw.data)
+		d.retireCnt(m.addr, int(m.n))
+		d.recycle(buf)
+		d.freeSlot = append(d.freeSlot, m.slot)
 	}
-	d.pending = d.pending[:0]
+	d.pq = d.pq[:0]
+	d.head = 0
 	if d.spec.Volatile {
 		d.store.Clear()
 	}
@@ -465,9 +652,7 @@ func (d *Device) Crash(at Cycle) {
 // without advancing time. It is intended for debugging and verification.
 func (d *Device) Peek(addr uint64, buf []byte) {
 	d.store.Read(addr, buf)
-	for _, pw := range d.pending {
-		forward(addr, buf, pw.addr, pw.data)
-	}
+	d.forwardPending(addr, buf)
 }
 
 // Poke writes contents directly, bypassing timing. It is intended for
@@ -481,9 +666,13 @@ func (d *Device) Poke(addr uint64, data []byte) {
 // them. The device itself is not modified.
 func (d *Device) DurableSnapshot(at Cycle) *Storage {
 	s := d.store.Clone()
-	for _, pw := range d.pending {
-		if pw.done <= at {
-			s.Write(pw.addr, pw.data)
+	// The durable prefix is completion-ordered; replay it in posting order
+	// (as settle would) without disturbing the device.
+	durable := append([]pendingMeta(nil), d.pq[d.head:]...)
+	sort.Slice(durable, func(i, j int) bool { return durable[i].seq < durable[j].seq })
+	for _, m := range durable {
+		if m.done <= at {
+			s.Write(m.addr, d.slots[m.slot])
 		}
 	}
 	return s

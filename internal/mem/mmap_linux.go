@@ -1,0 +1,33 @@
+//go:build linux
+
+package mem
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapFile maps size bytes of f read-write and shared, so stores land in
+// the page cache and reach the file without write(2) calls.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// msyncFile flushes the mapping to its file (msync is not wrapped by the
+// stdlib syscall package, so issue it directly).
+func msyncFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

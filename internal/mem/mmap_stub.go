@@ -1,0 +1,19 @@
+//go:build !linux
+
+package mem
+
+import (
+	"fmt"
+	"os"
+)
+
+// The mmap backend is implemented for linux only; other platforms fall back
+// to a clear error so the heap backend (the default) is unaffected.
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("mmap storage backend is only available on linux")
+}
+
+func munmapFile(b []byte) error { return nil }
+
+func msyncFile(b []byte) error { return nil }

@@ -151,6 +151,26 @@ func (t *Table[V]) Delete(k uint64) {
 // Reset empties the table and releases all nodes.
 func (t *Table[V]) Reset() { *t = Table[V]{} }
 
+// Clear empties the table but retains its allocated node structure, so
+// refilling it with keys it has covered before allocates nothing. Values
+// are zeroed to release references. Tables recycled across controller
+// epochs (per-epoch store counters) use this instead of Reset.
+func (t *Table[V]) Clear() {
+	for _, m := range t.root {
+		if m == nil {
+			continue
+		}
+		for _, l := range m.leaves {
+			if l != nil {
+				*l = leaf[V]{}
+			}
+		}
+	}
+	t.n = 0
+	t.memo = nil
+	t.hi = 0
+}
+
 // leafFor returns the leaf covering k, allocating nodes (and growing the
 // root directory) as needed.
 func (t *Table[V]) leafFor(k uint64) *leaf[V] {

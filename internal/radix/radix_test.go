@@ -166,6 +166,43 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestClearRetainsStructure(t *testing.T) {
+	var tab Table[int]
+	for i := uint64(0); i < 1000; i++ {
+		tab.Set(i*37, int(i)+1)
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatalf("Len() = %d after Clear", tab.Len())
+	}
+	if _, ok := tab.Get(37); ok {
+		t.Fatal("Clear table still has key 37")
+	}
+	tab.Scan(func(uint64, int) bool {
+		t.Fatal("Scan visited an entry after Clear")
+		return false
+	})
+
+	// Refilling the same key range reuses the retained node structure:
+	// no allocations in steady state (this is why the epoch-sealed
+	// page-store counter table is recycled via Clear, not Reset).
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := uint64(0); i < 1000; i++ {
+			tab.Set(i*37, int(i)+1)
+		}
+		tab.Clear()
+	})
+	if allocs != 0 {
+		t.Fatalf("refill after Clear allocated %.1f times, want 0", allocs)
+	}
+
+	// Zero values set after Clear are still distinguishable from absent.
+	tab.Set(74, 0)
+	if v, ok := tab.Get(74); !ok || v != 0 {
+		t.Fatalf("Get(74) after Clear = %d,%v; want 0,true", v, ok)
+	}
+}
+
 func BenchmarkTableGetHit(b *testing.B) {
 	var tab Table[uint64]
 	for i := uint64(0); i < 1<<16; i++ {

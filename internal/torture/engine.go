@@ -51,6 +51,10 @@ func Run(s *Schedule) (*Outcome, error) {
 		return nil, err
 	}
 	isIdeal := kind == thynvm.SystemIdealDRAM || kind == thynvm.SystemIdealNVM
+	backend, err := mem.ParseBackend(s.Backend)
+	if err != nil {
+		return nil, err
+	}
 	sys, err := thynvm.NewSystem(kind, thynvm.Options{
 		PhysBytes:  s.PhysBytes,
 		EpochLen:   time.Duration(s.EpochNs) * time.Nanosecond,
@@ -61,10 +65,15 @@ func Run(s *Schedule) (*Outcome, error) {
 		// caches the harness would lose dirty lines the premise says
 		// survive. Run them cacheless so the premise is checkable.
 		NoCaches: isIdeal,
+		// mmap-backed schedules exercise the whole crash/recover/verify
+		// cycle against a file-backed NVM image (temporary, removed by
+		// the deferred Close).
+		Backing: thynvm.StorageSpec{Backend: backend},
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	e := &engine{s: s, sys: sys, o: verify.New(), out: &Outcome{}, isID: isIdeal}
 	ctrl := sys.Machine.Controller()
 	e.mm, _ = ctrl.(ctl.MetadataMapper)

@@ -61,7 +61,20 @@ type (
 	Machine = sim.Machine
 	// Mode selects a ThyNVM checkpointing scheme (Table 1 ablations).
 	Mode = core.Mode
+	// Backend selects the NVM storage backend (heap or mmap).
+	Backend = mem.Backend
+	// StorageSpec configures the NVM backing store (see Options.Backing).
+	StorageSpec = mem.StorageSpec
 )
+
+// Storage backends for Options.Backing.
+const (
+	BackendHeap = mem.BackendHeap
+	BackendMmap = mem.BackendMmap
+)
+
+// ParseBackend resolves a storage backend name ("heap" or "mmap").
+func ParseBackend(s string) (Backend, error) { return mem.ParseBackend(s) }
 
 // Checkpointing scheme modes (see core.Mode).
 const (
@@ -166,6 +179,12 @@ type Options struct {
 	DisableCooperation bool
 	// NoCaches removes the CPU cache hierarchy (controller-level studies).
 	NoCaches bool
+	// Backing selects the storage backend for the system's persistent
+	// (NVM) device. The zero value is the heap backend, which is the
+	// byte-identical default; BackendMmap keeps the NVM image in a
+	// file-backed mapping (Capacity defaults to a generous multiple of
+	// PhysBytes, Path empty means a self-removing temporary file).
+	Backing StorageSpec
 }
 
 // DefaultOptions mirrors the paper's evaluated configuration.
@@ -192,6 +211,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.PTTEntries == 0 {
 		o.PTTEntries = d.PTTEntries
+	}
+	if o.Backing.Backend == mem.BackendMmap && o.Backing.Capacity == 0 {
+		o.Backing.Capacity = mem.DefaultMmapCapacity(o.PhysBytes)
 	}
 }
 
@@ -231,6 +253,7 @@ func NewSystem(kind SystemKind, opts Options) (*System, error) {
 		if cfg.SwitchToBlock > cfg.SwitchToPage {
 			cfg.SwitchToBlock = cfg.SwitchToPage
 		}
+		cfg.NVMBacking = opts.Backing
 		ctrl, err = core.New(cfg)
 	case SystemIdealDRAM, SystemIdealNVM, SystemJournal, SystemShadow:
 		cfg := baseline.DefaultConfig()
@@ -238,6 +261,7 @@ func NewSystem(kind SystemKind, opts Options) (*System, error) {
 		cfg.EpochLen = epoch
 		cfg.JournalEntries = opts.BTTEntries + opts.PTTEntries
 		cfg.DRAMPages = opts.PTTEntries
+		cfg.NVMBacking = opts.Backing
 		switch kind {
 		case SystemIdealDRAM:
 			ctrl, err = baseline.NewIdealDRAM(cfg)
@@ -273,6 +297,62 @@ func MustNewSystem(kind SystemKind, opts Options) *System {
 
 // Options returns the options the system was built with.
 func (s *System) Options() Options { return s.opts }
+
+// nvmStorage reaches the persistent device's backing store. Every built-in
+// controller exposes it; a nil return means a custom controller without one.
+func (s *System) nvmStorage() *mem.Storage {
+	if owner, ok := s.ctrl.(interface{ NVMStorage() *mem.Storage }); ok {
+		return owner.NVMStorage()
+	}
+	return nil
+}
+
+// SyncStorage flushes an mmap-backed NVM image to its file (a no-op on the
+// heap backend).
+func (s *System) SyncStorage() error {
+	if st := s.nvmStorage(); st != nil {
+		return st.Sync()
+	}
+	return nil
+}
+
+// SnapshotStorage writes a standalone copy of an mmap-backed NVM image to
+// path; it errors on the heap backend.
+func (s *System) SnapshotStorage(path string) error {
+	st := s.nvmStorage()
+	if st == nil {
+		return fmt.Errorf("thynvm: controller exposes no storage")
+	}
+	return st.Snapshot(path)
+}
+
+// Close releases the system's storage: on the mmap backend it unmaps the
+// NVM image (removing auto-created temporary files); on the heap backend it
+// is a no-op. The system must not be used afterwards.
+func (s *System) Close() error {
+	if st := s.nvmStorage(); st != nil {
+		return st.Close()
+	}
+	return nil
+}
+
+// NVMImagePath reports the mmap image file backing the NVM device, or ""
+// for the heap backend.
+func (s *System) NVMImagePath() string {
+	if st := s.nvmStorage(); st != nil {
+		return st.ImagePath()
+	}
+	return ""
+}
+
+// NVMFootprintBytes reports how many bytes of NVM backing store have been
+// touched (resident footprint for the mmap backend).
+func (s *System) NVMFootprintBytes() uint64 {
+	if st := s.nvmStorage(); st != nil {
+		return st.FootprintBytes()
+	}
+	return 0
+}
 
 // Crash models a power failure at the current cycle.
 func (s *System) Crash() Cycle { return s.CrashNow() }

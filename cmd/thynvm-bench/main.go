@@ -65,6 +65,7 @@ func run() error {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig7..fig12, epochs, recovery")
 	scaleName := flag.String("scale", "default", "experiment scale: small or default")
 	backendName := flag.String("backend", "heap", "NVM storage backend: heap or mmap (results are byte-identical; mmap keeps each cell's NVM image in a temporary file)")
+	integrity := flag.Bool("integrity", false, "enable per-block NVM checksums in every simulation, pricing integrity maintenance into the reported numbers")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = sequential; output is identical for any value)")
 	csv := flag.Bool("csv", false, "also emit CSV")
 	jsonOut := flag.String("json-out", "", "write micro-benchmark results as JSON to this file (convention: BENCH_PR<N>.json; empty to disable)")
@@ -99,6 +100,7 @@ func run() error {
 		return usageError{err}
 	}
 	sc.Backing = thynvm.StorageSpec{Backend: backend}
+	sc.Integrity = *integrity
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	emit := func(t *thynvm.Table) error {
@@ -127,6 +129,9 @@ func run() error {
 	fmt.Printf("ThyNVM evaluation reproduction (scale=%s)\n%s\n\n",
 		*scaleName, strings.Repeat("=", 60))
 	fmt.Fprintf(os.Stderr, "[running with parallel=%d]\n", *parallel)
+	if *integrity {
+		fmt.Fprintln(os.Stderr, "[NVM block checksums enabled: tables include integrity maintenance overhead]")
+	}
 
 	if want("table2") {
 		if err := emit(thynvm.Table2()); err != nil {

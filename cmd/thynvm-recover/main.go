@@ -7,6 +7,14 @@
 //
 //	thynvm-recover [-system thynvm] [-tx 3000] [-store hash|rbtree]
 //	thynvm-recover -metrics-out m.json -trace-out t.jsonl
+//	thynvm-recover -integrity -generations 4 -bitrot 40
+//
+// -integrity enables per-block NVM checksums; -bitrot/-dead inject that many
+// media faults (seeded by -media-seed) into the durable image between the
+// power failure and recovery. Recovery then reports its degraded-mode
+// verdict: recovered-clean, recovered-fallback(N) when newer checkpoint
+// generations were damaged, or detected-unrecoverable — a clean refusal
+// (exit status 1) rather than a silently wrong image.
 //
 // With -metrics-out / -trace-out a telemetry recorder observes the whole
 // crash-recovery cycle: the trace file carries the structured event log
@@ -116,6 +124,11 @@ func run() error {
 	metricsOut := flag.String("metrics-out", "", "write per-epoch time series + latency histograms (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the structured event log + span records to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "event log format: jsonl or chrome (Perfetto-loadable trace events)")
+	integrity := flag.Bool("integrity", false, "enable per-block NVM checksums and the post-recovery scrub")
+	generations := flag.Int("generations", 0, "retained checkpoint generations (0 = classic pair)")
+	bitrot := flag.Int("bitrot", 0, "bit-rot media faults to inject between crash and recovery (requires -integrity)")
+	dead := flag.Int("dead", 0, "dead-chunk media faults to inject between crash and recovery (requires -integrity)")
+	mediaSeed := flag.Uint64("media-seed", 1, "seed for media-fault placement")
 	flag.Parse()
 
 	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
@@ -125,7 +138,12 @@ func run() error {
 	if err != nil {
 		return usageError{err}
 	}
+	if (*bitrot > 0 || *dead > 0) && !*integrity {
+		return usagef("-bitrot/-dead need -integrity: without checksums media damage cannot be detected")
+	}
 	opts := thynvm.DefaultOptions()
+	opts.Integrity = *integrity
+	opts.Generations = *generations
 	// The demo's working set is cache-resident, so scale the epoch down to
 	// get several checkpoints within the short simulated run.
 	opts.EpochLen = 10 * time.Microsecond
@@ -219,14 +237,47 @@ func run() error {
 	at := sys.Crash()
 	fmt.Printf("power failure injected at cycle %d — DRAM, caches and controller state lost\n", uint64(at))
 
+	if *bitrot > 0 || *dead > 0 {
+		st := sys.NVMStorage()
+		if st == nil {
+			return fmt.Errorf("system exposes no NVM storage for media-fault injection")
+		}
+		if *bitrot > 0 {
+			hit := st.InjectBitRot(*mediaSeed, *bitrot)
+			fmt.Printf("media faults: %d bit(s) rotted across %d chunk(s) of the durable image\n", *bitrot, len(hit))
+		}
+		if *dead > 0 {
+			hit := st.InjectDeadChunks(*mediaSeed+1, *dead)
+			fmt.Printf("media faults: %d chunk(s) went dead in the durable image\n", len(hit))
+		}
+	}
+
+	reportVerdict := func() {
+		rep := sys.LastRecovery()
+		switch rep.Class {
+		case thynvm.RecoveredClean:
+			fmt.Printf("recovery verdict: %s (generation %d)\n", rep.Class, rep.Generation)
+		case thynvm.RecoveredFallback:
+			fmt.Printf("recovery verdict: %s (fell back %d generation(s) to generation %d)\n",
+				rep.Class, rep.FallbackDepth, rep.Generation)
+		case thynvm.Unrecoverable:
+			fmt.Printf("recovery verdict: %s — refusing to serve a possibly wrong image\n", rep.Class)
+		}
+	}
+
 	had, err := sys.Recover()
 	if err != nil {
+		reportVerdict()
+		if werr := writeTelemetry(); werr != nil {
+			return werr
+		}
 		return fmt.Errorf("recovery failed: %w", err)
 	}
 	if !had {
 		fmt.Println("no checkpoint had committed; system restarted from the initial image")
 		return writeTelemetry()
 	}
+	reportVerdict()
 	fmt.Printf("recovered to epoch boundary at transaction %d\n", a.applied)
 
 	snap, ok := snapshots[a.applied]

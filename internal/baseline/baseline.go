@@ -43,6 +43,36 @@ type Config struct {
 	// applies to their single main-memory device, which plays the
 	// persistent role; DRAM buffers stay heap-backed.
 	NVMBacking mem.StorageSpec
+	// Generations is the number of retained checkpoint generations (commit
+	// header slots) for the journaling and shadow baselines. 0 means the
+	// classic ping-pong pair; values above 2 enable multi-generation
+	// recovery fallback (and the durable generation-safety guard).
+	Generations int
+	// Integrity enables per-block checksums on the persistent device plus
+	// post-recovery verification, the baseline half of the media-fault
+	// model (ideal systems get the verification only — their premise is
+	// free consistency, not free media).
+	Integrity bool
+}
+
+// maxGenerations bounds retained generations: the header slots plus the
+// generation-safety guard must fit in the single metadata page between the
+// physical space and the first blob area.
+const maxGenerations = mem.BlocksPerPage - 1
+
+// generations resolves the configured generation count (0 = classic pair).
+func (c Config) generations() int {
+	if c.Generations == 0 {
+		return 2
+	}
+	return c.Generations
+}
+
+// guardOn reports whether the durable generation-safety guard is in play:
+// always with integrity (media faults can destroy newer generations), and
+// whenever more than the classic pair is retained.
+func (c Config) guardOn() bool {
+	return c.Integrity || c.generations() > 2
 }
 
 // DefaultConfig mirrors the paper's evaluated configuration.
@@ -67,6 +97,9 @@ func (c Config) Validate() error {
 	}
 	if c.JournalEntries <= 0 || c.DRAMPages <= 0 {
 		return fmt.Errorf("baseline: JournalEntries and DRAMPages must be positive")
+	}
+	if c.Generations != 0 && (c.Generations < 2 || c.Generations > maxGenerations) {
+		return fmt.Errorf("baseline: Generations %d must be 0 (default pair) or in [2, %d]", c.Generations, maxGenerations)
 	}
 	return nil
 }

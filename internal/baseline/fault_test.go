@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"thynvm/internal/ctl"
+	"thynvm/internal/mem"
+)
+
+// Multi-generation fallback table: with K retained commit generations,
+// corrupting the newest commit's blob must fall back exactly one
+// generation; corrupting generations at or below the durable
+// generation-safety floor — or all of them — must refuse with a typed
+// unrecoverable verdict. The recovered image is always the exact image of
+// the generation recovery reports, never a blend.
+
+// corruptAt flips one byte of NVM at addr, bypassing timing.
+func corruptAt(nvm *mem.Device, addr uint64) {
+	var b [1]byte
+	nvm.Peek(addr, b[:])
+	b[0] ^= 0xff
+	nvm.Poke(addr, b[:])
+}
+
+// recoverable is the slice of the controller surface the fallback table
+// exercises.
+type recoverable interface {
+	ctl.Controller
+	LastRecovery() ctl.RecoveryReport
+}
+
+// fbState describes a crashed system ready for targeted corruption: which
+// generations committed, where their blobs live, what image and CPU state
+// each one pins, and the lowest generation the durable floor still allows.
+type fbState struct {
+	ctrl     recoverable
+	nvm      *mem.Device
+	blobAddr []uint64 // indexed by generation seq
+	val      []byte   // expected block-0 value per generation
+	cpu      []string // expected CPU state per generation
+	floorGen int      // lowest generation fallback may legally reach
+}
+
+// journalBlob serializes a redo-journal commit blob holding one block
+// record, matching the layout BeginCheckpoint persists.
+func journalBlob(cpuState []byte, blockIdx uint64, data []byte) []byte {
+	var blob []byte
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		blob = append(blob, u64[:]...)
+	}
+	put(uint64(len(cpuState)))
+	blob = append(blob, cpuState...)
+	put(1)
+	put(blockIdx)
+	blob = append(blob, data...)
+	return blob
+}
+
+// buildJournal commits generation 0 normally, then hand-crafts the durable
+// state of a power failure caught between generation 1's commit header
+// write completing and the guard/apply writes that are ordered after it:
+// header 1 and blob 1 durable, the floor still 0, home still generation
+// 0's image. That instant is the journal's only fallback window — once the
+// in-place apply raises the floor, falling back past it is forbidden.
+func buildJournal(t *testing.T) fbState {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Generations = 3
+	j, err := NewJournal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := j.WriteBlock(0, 0, blockOf(1))
+	now = j.BeginCheckpoint(now, []byte("cpu-g0")) // committed and applied; floor stays 0
+	area0 := j.blobArea[0]
+	hdr1 := j.headerAddr[1]
+	j.Crash(now + 1_000_000)
+
+	blob := journalBlob([]byte("cpu-g1"), 0, blockOf(2))
+	addr1 := (area0.addr + area0.size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	j.nvm.Poke(addr1, blob)
+	j.nvm.Poke(hdr1, encodeHeader(1, addr1, uint64(len(blob)), fnv64(blob)))
+	return fbState{
+		ctrl:     j,
+		nvm:      j.nvm,
+		blobAddr: []uint64{area0.addr, addr1},
+		val:      []byte{1, 2},
+		cpu:      []string{"cpu-g0", "cpu-g1"},
+		floorGen: 0,
+	}
+}
+
+// buildShadow commits three generations through the real flush path. Each
+// flush overwrites the shadow slot the generation before last still
+// references, raising the durable floor to seq-1 first — so after commit
+// 2 the floor is 1: one fallback step is legal, two are not.
+func buildShadow(t *testing.T) fbState {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Generations = 3
+	s, err := NewShadow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := mem.Cycle(0)
+	var addrs []uint64
+	for gen := byte(0); gen < 3; gen++ {
+		now = s.WriteBlock(now, 0, blockOf(gen+1))
+		now = s.BeginCheckpoint(now, []byte{'c', 'p', 'u', '-', 'g', '0' + gen})
+		addrs = append(addrs, s.blobArea[gen].addr)
+	}
+	s.Crash(now + 1_000_000)
+	return fbState{
+		ctrl:     s,
+		nvm:      s.nvm,
+		blobAddr: addrs,
+		val:      []byte{1, 2, 3},
+		cpu:      []string{"cpu-g0", "cpu-g1", "cpu-g2"},
+		floorGen: 1,
+	}
+}
+
+func TestRecoveryFallbackGenerations(t *testing.T) {
+	schemes := []struct {
+		name  string
+		build func(*testing.T) fbState
+	}{
+		{"journal", buildJournal},
+		{"shadow", buildShadow},
+	}
+	for _, scheme := range schemes {
+		probe := scheme.build(t)
+		committed := len(probe.blobAddr)
+		floorGen := probe.floorGen
+
+		// Corrupt the newest k generations' blobs, for every k: the verdict
+		// must be fallback to the newest intact generation when that is at
+		// or above the floor, and a typed refusal otherwise.
+		for k := 1; k <= committed; k++ {
+			bestGen := committed - 1 - k
+			wantRefusal := bestGen < floorGen
+			t.Run(fmt.Sprintf("%s-corrupt-newest-%d", scheme.name, k), func(t *testing.T) {
+				st := scheme.build(t)
+				for i := 0; i < k; i++ {
+					corruptAt(st.nvm, st.blobAddr[committed-1-i]+16)
+				}
+				cpu, _, err := st.ctrl.Recover()
+				rep := st.ctrl.LastRecovery()
+				if wantRefusal {
+					if !errors.Is(err, ctl.ErrUnrecoverable) {
+						t.Fatalf("corrupt newest %d of %d: Recover = (%q, %v), want ErrUnrecoverable", k, committed, cpu, err)
+					}
+					if rep.Class != ctl.Unrecoverable {
+						t.Fatalf("corrupt newest %d of %d: report %+v, want detected-unrecoverable", k, committed, rep)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("corrupt newest %d of %d: Recover: %v", k, committed, err)
+				}
+				if string(cpu) != st.cpu[bestGen] {
+					t.Fatalf("corrupt newest %d of %d: CPU state %q, want %q", k, committed, cpu, st.cpu[bestGen])
+				}
+				buf := make([]byte, mem.BlockSize)
+				st.ctrl.PeekBlock(0, buf)
+				if buf[0] != st.val[bestGen] {
+					t.Fatalf("corrupt newest %d of %d: recovered block value %d, want generation %d's value %d",
+						k, committed, buf[0], bestGen, st.val[bestGen])
+				}
+				if rep.Class != ctl.RecoveredFallback || rep.FallbackDepth != k || rep.Generation != uint64(bestGen) {
+					t.Fatalf("corrupt newest %d of %d: report %+v, want fallback depth %d to generation %d",
+						k, committed, rep, k, bestGen)
+				}
+			})
+		}
+
+		// Untouched control: the crafted/committed state recovers clean to
+		// the newest generation.
+		t.Run(scheme.name+"-clean", func(t *testing.T) {
+			st := scheme.build(t)
+			cpu, _, err := st.ctrl.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			newest := committed - 1
+			if string(cpu) != st.cpu[newest] {
+				t.Fatalf("clean recovery CPU state %q, want %q", cpu, st.cpu[newest])
+			}
+			if rep := st.ctrl.LastRecovery(); rep.Class != ctl.RecoveredClean || rep.FallbackDepth != 0 {
+				t.Fatalf("clean recovery report %+v, want recovered-clean", rep)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 	"thynvm/internal/obs"
@@ -12,14 +14,15 @@ import (
 // latest memory image and the CPU state registered at the last checkpoint
 // boundary. It exists to measure the overhead of the real schemes against.
 type Ideal struct {
-	cfg      Config
-	dev      *mem.Device
-	name     string
-	epochSt  mem.Cycle
-	cpuState []byte
-	stats    ctl.Stats
-	tele     ctl.EpochSampler
-	anyWork  bool
+	cfg          Config
+	dev          *mem.Device
+	name         string
+	epochSt      mem.Cycle
+	cpuState     []byte
+	lastRecovery ctl.RecoveryReport
+	stats        ctl.Stats
+	tele         ctl.EpochSampler
+	anyWork      bool
 }
 
 var _ ctl.Controller = (*Ideal)(nil)
@@ -35,6 +38,9 @@ func NewIdealDRAM(cfg Config) (*Ideal, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Integrity {
+		store.EnableIntegrity()
+	}
 	return &Ideal{cfg: cfg, dev: mem.NewDeviceStorage(spec, store), name: "Ideal DRAM"}, nil
 }
 
@@ -46,6 +52,9 @@ func NewIdealNVM(cfg Config) (*Ideal, error) {
 	store, err := mem.NewBackedStorage(cfg.NVMBacking)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Integrity {
+		store.EnableIntegrity()
 	}
 	return &Ideal{cfg: cfg, dev: mem.NewDeviceStorage(cfg.NVM, store), name: "Ideal NVM"}, nil
 }
@@ -89,6 +98,15 @@ func (s *Ideal) SetWriteFault(f mem.WriteFault) { s.dev.SetWriteFault(f) }
 // everything (mem.MaxCycle), so at-crash tears never fire on an ideal
 // system — consistent with its "crash consistency at no cost" premise.
 func (s *Ideal) SetCrashFault(f mem.CrashFault) { s.dev.SetCrashFault(f) }
+
+// SetReadFault implements ctl.FaultInjectable (media read errors). The
+// ideal premise covers crash consistency, not media health: injected rot
+// still lands and is caught by the recovery-time scrub when integrity is
+// on.
+func (s *Ideal) SetReadFault(f mem.ReadFault) { s.dev.SetReadFault(f) }
+
+// LastRecovery implements ctl.RecoveryReporter.
+func (s *Ideal) LastRecovery() ctl.RecoveryReport { return s.lastRecovery }
 
 // MetadataKind implements ctl.MetadataMapper: the ideal systems keep no
 // durable metadata.
@@ -139,8 +157,18 @@ func (s *Ideal) Crash(at mem.Cycle) {
 }
 
 // Recover implements ctl.Controller: instantaneous, returns the CPU state
-// registered at the last checkpoint boundary.
+// registered at the last checkpoint boundary. With integrity on, the whole
+// software-visible image is scrubbed first — the ideal assumption does not
+// extend to media faults, so damage is refused, never silently returned.
 func (s *Ideal) Recover() ([]byte, mem.Cycle, error) {
+	s.lastRecovery = ctl.RecoveryReport{Class: ctl.RecoveredClean}
+	if s.cfg.Integrity {
+		if fails := s.dev.Storage().VerifyRange(0, s.cfg.PhysBytes); len(fails) > 0 {
+			s.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, ChecksumFailures: len(fails)}
+			return nil, 0, fmt.Errorf("baseline: %s: %d corrupt block(s) in the memory image: %w",
+				s.name, len(fails), ctl.ErrUnrecoverable)
+		}
+	}
 	return s.cpuState, 0, nil
 }
 

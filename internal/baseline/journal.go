@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"thynvm/internal/alloc"
 	"thynvm/internal/ctl"
@@ -32,16 +33,19 @@ type Journal struct {
 	idxScratch  *alloc.Region[uint64]
 	blobScratch *alloc.Region[byte]
 
-	headerAddr [2]uint64
-	blobArea   [2]struct{ addr, size uint64 }
+	headerAddr []uint64
+	blobArea   []struct{ addr, size uint64 }
+	guard      genGuard
+	integOn    bool
 	nvmBump    uint64
 	seq        uint64
 
-	epochSt    mem.Cycle
-	overflow   bool
-	recoverCut mem.Cycle // one-shot power-failure instant for the next Recover
-	stats      ctl.Stats
-	tele       ctl.EpochSampler
+	epochSt      mem.Cycle
+	overflow     bool
+	recoverCut   mem.Cycle // one-shot power-failure instant for the next Recover
+	lastRecovery ctl.RecoveryReport
+	stats        ctl.Stats
+	tele         ctl.EpochSampler
 }
 
 var _ ctl.Controller = (*Journal)(nil)
@@ -62,10 +66,24 @@ func NewJournal(cfg Config) (*Journal, error) {
 	}
 	j.idxScratch = alloc.NewRegion[uint64](&j.epoch, cfg.JournalEntries)
 	j.blobScratch = alloc.NewRegion[byte](&j.epoch, 4096)
-	j.headerAddr[0] = cfg.PhysBytes
-	j.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	j.headerAddr = headerSlots(cfg.PhysBytes, cfg.generations())
+	j.blobArea = make([]struct{ addr, size uint64 }, cfg.generations())
+	j.guard.init(cfg.PhysBytes, cfg.guardOn())
+	j.integOn = cfg.Integrity
+	if cfg.Integrity {
+		nvmStore.EnableIntegrity()
+	}
 	j.nvmBump = cfg.PhysBytes + mem.PageSize
 	return j, nil
+}
+
+// readFailureCount samples the integrity layer's read-failure counter
+// (zero with integrity off) to attribute damage to media faults.
+func (j *Journal) readFailureCount() uint64 {
+	if !j.integOn {
+		return 0
+	}
+	return j.nvm.Storage().IntegrityCounters().ReadFailures
 }
 
 // Name identifies the system in reports.
@@ -189,7 +207,8 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	blob = j.blobScratch.Keep(blob)
 
 	// Write journal blob to the backup region, then the commit header.
-	area := &j.blobArea[j.seq%2]
+	gen := j.seq % uint64(len(j.headerAddr))
+	area := &j.blobArea[gen]
 	if uint64(len(blob)) > area.size {
 		need := (uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
 		area.addr = j.nvmBump
@@ -198,15 +217,21 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	}
 	_, blobDone := j.nvm.WriteAt(now, rdMax, area.addr, blob, mem.SrcCheckpoint)
 	header := encodeHeader(j.seq, area.addr, uint64(len(blob)), fnv64(blob))
-	_, commitDone := j.nvm.WriteAt(now, blobDone, j.headerAddr[j.seq%2], header, mem.SrcCheckpoint)
+	_, commitDone := j.nvm.WriteAt(now, blobDone, j.headerAddr[gen], header, mem.SrcCheckpoint)
+	committedSeq := j.seq
 	j.seq++
 
-	// Apply in place (redo), ordered after the commit.
-	applyDone := commitDone
+	// Apply in place (redo), ordered after the commit. In-place application
+	// destroys the home bytes older generations' journals redo over, so the
+	// generation-safety floor rises to the committed generation first (the
+	// guard write itself ordered after the commit header, so a durable
+	// floor implies a durable commit).
+	applyIssue := j.guard.raise(j.nvm, now, commitDone, committedSeq)
+	applyDone := applyIssue
 	off := 8 + len(cpuState) + 8
 	for _, idx := range idxs {
 		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
-		_, d := j.nvm.WriteAt(now, commitDone, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		_, d := j.nvm.WriteAt(now, applyIssue, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		if d > applyDone {
 			applyDone = d
 		}
@@ -264,7 +289,12 @@ func (j *Journal) Crash(at mem.Cycle) {
 	j.freeSlots = nil
 	j.dramBump = 0
 	j.overflow = false
-	j.blobArea = [2]struct{ addr, size uint64 }{}
+	for i := range j.blobArea {
+		j.blobArea[i] = struct{ addr, size uint64 }{}
+	}
+	// The volatile mirror of the durable generation-safety floor is lost;
+	// Recover restores it from the guard record.
+	j.guard.reset()
 	j.nvmBump = j.cfg.PhysBytes + mem.PageSize
 	j.seq = 0
 }
@@ -275,8 +305,14 @@ func (j *Journal) SetWriteFault(f mem.WriteFault) { j.nvm.SetWriteFault(f) }
 // SetCrashFault implements ctl.FaultInjectable (torn NVM persists).
 func (j *Journal) SetCrashFault(f mem.CrashFault) { j.nvm.SetCrashFault(f) }
 
+// SetReadFault implements ctl.FaultInjectable (NVM media read errors).
+func (j *Journal) SetReadFault(f mem.ReadFault) { j.nvm.SetReadFault(f) }
+
 // SetRecoverInterrupt implements ctl.RecoverInterrupter.
 func (j *Journal) SetRecoverInterrupt(at mem.Cycle) { j.recoverCut = at }
+
+// LastRecovery implements ctl.RecoveryReporter.
+func (j *Journal) LastRecovery() ctl.RecoveryReport { return j.lastRecovery }
 
 // CommitAt implements ctl.CommitReporter: journaling is stop-the-world, so
 // nothing is ever draining when the harness can observe it.
@@ -284,7 +320,12 @@ func (j *Journal) CommitAt() (bool, mem.Cycle) { return false, 0 }
 
 // MetadataKind implements ctl.MetadataMapper.
 func (j *Journal) MetadataKind(addr uint64) ctl.MetadataKind {
-	if addr == j.headerAddr[0] || addr == j.headerAddr[1] {
+	for _, h := range j.headerAddr {
+		if addr == h {
+			return ctl.MetaHeader
+		}
+	}
+	if addr == j.guard.addr {
 		return ctl.MetaHeader
 	}
 	for i := range j.blobArea {
@@ -296,27 +337,54 @@ func (j *Journal) MetadataKind(addr uint64) ctl.MetadataKind {
 	return ctl.MetaNone
 }
 
-// Recover implements ctl.Controller: redo the newest committed journal over
-// the home region (idempotent — a crash mid-apply is repaired by replay,
-// which is also why an interrupted recovery can simply run again).
+// Recover implements ctl.Controller: redo the newest intact committed
+// journal over the home region (idempotent — a crash mid-apply is repaired
+// by replay, which is also why an interrupted recovery can simply run
+// again). Damaged newer generations are walked past when that is provably
+// safe (above the generation-safety floor); otherwise recovery refuses
+// with a typed unrecoverable verdict rather than materialize a wrong image.
 func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 	cut := j.recoverCut
 	j.recoverCut = 0
 	armed := cut > 0
-	best, blob, t, ok := readBestCommit(j.nvm, 0, j.headerAddr)
+	j.lastRecovery = ctl.RecoveryReport{}
+	sc, t := scanCommits(j.nvm, 0, j.headerAddr, j.readFailureCount)
+	floor := uint64(0)
+	guardDamaged := false
+	if j.guard.on {
+		floor, guardDamaged, t = j.guard.read(j.nvm, t)
+	}
 	if armed && t >= cut {
 		j.Crash(cut)
 		return nil, cut, ctl.ErrRecoverInterrupted
 	}
-	if !ok {
+	floor, cold, err := sc.verdict("journal", floor, guardDamaged)
+	if err != nil {
+		j.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, FallbackDepth: sc.depth}
+		return nil, t, err
+	}
+	if cold {
+		if j.integOn {
+			if fails := j.nvm.Storage().VerifyRange(0, j.cfg.PhysBytes); len(fails) > 0 {
+				j.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, ChecksumFailures: len(fails)}
+				return nil, t, fmt.Errorf("baseline: journal: %d corrupt block(s) in the initial image: %w",
+					len(fails), ctl.ErrUnrecoverable)
+			}
+		}
+		j.lastRecovery = ctl.RecoveryReport{Class: ctl.RecoveredClean, ColdStart: true}
 		j.epochSt = t
 		return nil, t, nil
 	}
+	best, blob := sc.best, sc.bestBlob
 	cpuLen := binary.LittleEndian.Uint64(blob[0:])
 	cpuState := append([]byte(nil), blob[8:8+cpuLen]...)
 	off := 8 + int(cpuLen)
 	n := binary.LittleEndian.Uint64(blob[off:])
 	off += 8
+	// Replaying generation best over home destroys what older generations'
+	// journals redo over: the durable floor rises to best first.
+	j.guard.floor = floor
+	gd := j.guard.raise(j.nvm, t, t, best.seq)
 	var blockBuf [mem.BlockSize]byte
 	for i := uint64(0); i < n; i++ {
 		if armed && t >= cut {
@@ -325,7 +393,7 @@ func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 		}
 		idx := binary.LittleEndian.Uint64(blob[off:])
 		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
-		t = j.nvm.Write(t, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		t, _ = j.nvm.WriteAt(t, gd, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		off += 8 + mem.BlockSize
 	}
 	if armed && j.nvm.MaxPendingDone(t) > cut {
@@ -333,11 +401,22 @@ func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 		return nil, cut, ctl.ErrRecoverInterrupted
 	}
 	t = j.nvm.Flush(t)
+	if j.integOn {
+		// Post-recovery scrub of the software-visible image: anything media
+		// faults damaged that the replay did not rewrite is caught here,
+		// before software sees it.
+		if fails := j.nvm.Storage().VerifyRange(0, j.cfg.PhysBytes); len(fails) > 0 {
+			j.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, FallbackDepth: sc.depth, ChecksumFailures: len(fails)}
+			return nil, t, fmt.Errorf("baseline: journal: %d corrupt block(s) in the recovered image of generation %d: %w",
+				len(fails), best.seq, ctl.ErrUnrecoverable)
+		}
+	}
 	// Future journal areas must not clobber the surviving commit.
 	if end := best.blobAddr + best.blobLen; end > j.nvmBump {
 		j.nvmBump = (end + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	}
 	j.seq = best.seq + 1
+	j.lastRecovery = sc.report()
 	j.epochSt = t
 	return cpuState, t, nil
 }

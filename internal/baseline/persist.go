@@ -2,17 +2,23 @@ package baseline
 
 import (
 	"encoding/binary"
+	"fmt"
 
+	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 )
 
 // Shared commit-record machinery for the journaling and shadow-paging
-// baselines: a payload blob in a ping-pong NVM area plus a checksummed
-// 64-byte header, newest-valid-wins on recovery (the same robust commit
-// primitive the ThyNVM controller uses).
+// baselines: a payload blob in a rotation of K NVM areas plus a checksummed
+// 64-byte header per retained generation, newest-valid-wins on recovery —
+// the same robust commit primitive the ThyNVM controller uses, including
+// its degraded-mode fallback rules (see internal/core/recovery.go for the
+// damage-attribution rationale; the two codecs are deliberately separate so
+// either side can evolve its wire format).
 
 const (
 	blMagic    = 0x42415345484d4452 // "BASEHMDR"
+	blGuardMag = 0x4241534547554152 // "BASEGUAR"
 	headerSize = mem.BlockSize
 )
 
@@ -62,29 +68,201 @@ func decodeHeader(b []byte) (commitHeader, bool) {
 	}, true
 }
 
-// readBestCommit reads both header slots (timed) and returns the newest
-// valid header with its blob, or ok=false if none committed.
-func readBestCommit(nvm *mem.Device, t mem.Cycle, headerAddr [2]uint64) (commitHeader, []byte, mem.Cycle, bool) {
-	var best commitHeader
-	var bestBlob []byte
-	ok := false
-	for i := 0; i < 2; i++ {
-		hbuf := make([]byte, headerSize)
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// headerSlots lays out the K retained commit-header addresses, one block
+// each, starting at the end of the physical space (the same layout the
+// ThyNVM controller uses, so torture address maps stay comparable).
+func headerSlots(physBytes uint64, gens int) []uint64 {
+	addrs := make([]uint64, gens)
+	for i := range addrs {
+		addrs[i] = physBytes + uint64(i)*mem.BlockSize
+	}
+	return addrs
+}
+
+// genGuard is the durable generation-safety floor: the lowest generation
+// recovery may still fall back to. It is raised (monotonically, durably)
+// before any write that destroys data an older generation's image depends
+// on — in-place journal application, shadow-slot reuse, recovery
+// consolidation — so a fallback below the floor is refused rather than
+// silently recovered from overwritten bytes. The record occupies the last
+// block of the metadata page: magic, floor, checksum.
+type genGuard struct {
+	on        bool
+	addr      uint64
+	floor     uint64
+	floorDone mem.Cycle
+	buf       [headerSize]byte
+}
+
+func (g *genGuard) init(physBytes uint64, on bool) {
+	g.on = on
+	g.addr = physBytes + mem.PageSize - mem.BlockSize
+}
+
+func (g *genGuard) reset() {
+	g.floor = 0
+	g.floorDone = 0
+}
+
+// raise durably records floor (if above the current one), ordering the
+// guard write itself at issueAt, and returns the cycle destructive writes
+// must be ordered after. With the guard off it returns issueAt unchanged.
+func (g *genGuard) raise(nvm *mem.Device, now, issueAt mem.Cycle, floor uint64) mem.Cycle {
+	if !g.on {
+		return issueAt
+	}
+	if floor > g.floor {
+		for i := range g.buf {
+			g.buf[i] = 0
+		}
+		binary.LittleEndian.PutUint64(g.buf[0:], blGuardMag)
+		binary.LittleEndian.PutUint64(g.buf[8:], floor)
+		binary.LittleEndian.PutUint64(g.buf[16:], fnv64(g.buf[:16]))
+		_, done := nvm.WriteAt(now, issueAt, g.addr, g.buf[:], mem.SrcCheckpoint)
+		g.floor = floor
+		if done > g.floorDone {
+			g.floorDone = done
+		}
+	}
+	if g.floorDone > issueAt {
+		return g.floorDone
+	}
+	return issueAt
+}
+
+// read loads the durable floor (timed). A non-empty record that fails
+// validation reports damaged=true.
+func (g *genGuard) read(nvm *mem.Device, t mem.Cycle) (floor uint64, damaged bool, at mem.Cycle) {
+	buf := make([]byte, headerSize)
+	t = nvm.Read(t, g.addr, buf)
+	if allZero(buf) {
+		return 0, false, t
+	}
+	if binary.LittleEndian.Uint64(buf[0:]) != blGuardMag ||
+		binary.LittleEndian.Uint64(buf[16:]) != fnv64(buf[:16]) {
+		return 0, true, t
+	}
+	return binary.LittleEndian.Uint64(buf[8:]), false, t
+}
+
+// scanResult classifies the retained commit slots. Damage is attributed
+// the same way the core controller does it: an undecodable slot with no
+// media read failure under it is a commit torn by the crash (never
+// acknowledged — harmless); media-attributed or decodable-header damage
+// proves an acknowledged commit was destroyed.
+type scanResult struct {
+	ok       bool
+	best     commitHeader
+	bestBlob []byte
+
+	torn        int // torn unacknowledged commits: harmless crash wear
+	mediaDamage int // undecodable slots attributed to media read failures
+	blobDamage  int // decodable header, corrupt blob: an acked commit damaged
+	depth       int // damaged generations newer than the one recovered to
+}
+
+// scanCommits reads every retained header slot (timed) and classifies it.
+// readFailures samples the NVM integrity layer's read-failure counter (the
+// zero func when integrity is off).
+func scanCommits(nvm *mem.Device, t mem.Cycle, headerAddr []uint64, readFailures func() uint64) (scanResult, mem.Cycle) {
+	var sc scanResult
+	type slotDamage struct {
+		blind bool
+		seq   uint64
+	}
+	damaged := make([]slotDamage, 0, len(headerAddr))
+	hbuf := make([]byte, headerSize)
+	for i := range headerAddr {
+		intBase := readFailures()
 		t = nvm.Read(t, headerAddr[i], hbuf)
+		if allZero(hbuf) {
+			continue
+		}
 		h, valid := decodeHeader(hbuf)
 		if !valid {
+			if readFailures() != intBase {
+				sc.mediaDamage++
+				damaged = append(damaged, slotDamage{blind: true})
+			} else {
+				sc.torn++
+			}
 			continue
 		}
 		blob := make([]byte, h.blobLen)
 		t = nvm.Read(t, h.blobAddr, blob)
 		if fnv64(blob) != h.blobSum {
+			sc.blobDamage++
+			damaged = append(damaged, slotDamage{seq: h.seq})
 			continue
 		}
-		if !ok || h.seq > best.seq {
-			best = h
-			bestBlob = blob
-			ok = true
+		if !sc.ok || h.seq > sc.best.seq {
+			sc.best = h
+			sc.bestBlob = blob
+			sc.ok = true
 		}
 	}
-	return best, bestBlob, t, ok
+	for _, d := range damaged {
+		// A stale slot whose blob area was recycled by a newer commit is
+		// normal rotation wear, not a walked-past generation.
+		if d.blind || !sc.ok || d.seq > sc.best.seq {
+			sc.depth++
+		}
+	}
+	return sc, t
+}
+
+// verdict applies the shared degraded-mode decision table: given the slot
+// scan and the guard state it returns the effective floor and whether the
+// system must cold-start, or an ErrUnrecoverable-wrapped refusal. sys names
+// the system in error messages.
+func (sc *scanResult) verdict(sys string, floor uint64, guardDamaged bool) (uint64, bool, error) {
+	realDamage := sc.mediaDamage + sc.blobDamage
+	if guardDamaged {
+		if realDamage > 0 {
+			// Without a trustworthy floor, falling back past the newest
+			// generation cannot be proven safe.
+			return 0, false, fmt.Errorf("baseline: %s: generation guard and %d retained slot(s) damaged: %w",
+				sys, realDamage, ctl.ErrUnrecoverable)
+		}
+		// Every slot is intact or merely torn: recovering to the newest is
+		// always safe.
+		if sc.ok {
+			floor = sc.best.seq
+		}
+	}
+	if !sc.ok {
+		if realDamage > 0 || floor > 0 {
+			// Acknowledged checkpoints existed (damaged committed slots or
+			// a raised floor prove it); restarting from the initial image
+			// would silently lose them. Torn slots alone do not refuse:
+			// they were never acknowledged.
+			return 0, false, fmt.Errorf("baseline: %s: no intact checkpoint among retained slot(s): %w",
+				sys, ctl.ErrUnrecoverable)
+		}
+		return 0, true, nil
+	}
+	if sc.best.seq < floor {
+		return 0, false, fmt.Errorf("baseline: %s: newest intact checkpoint %d predates the generation-safety floor %d: %w",
+			sys, sc.best.seq, floor, ctl.ErrUnrecoverable)
+	}
+	return floor, false, nil
+}
+
+// report builds the RecoveryReport for a successful (clean or fallback)
+// recovery of generation best.
+func (sc *scanResult) report() ctl.RecoveryReport {
+	r := ctl.RecoveryReport{Generation: sc.best.seq, FallbackDepth: sc.depth}
+	if sc.depth > 0 {
+		r.Class = ctl.RecoveredFallback
+	}
+	return r
 }

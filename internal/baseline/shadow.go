@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"thynvm/internal/alloc"
 	"thynvm/internal/ctl"
@@ -34,17 +35,20 @@ type Shadow struct {
 	pageScratch *alloc.Region[*shadowPage]
 	blobScratch *alloc.Region[byte]
 
-	headerAddr [2]uint64
-	blobArea   [2]struct{ addr, size uint64 }
+	headerAddr []uint64
+	blobArea   []struct{ addr, size uint64 }
+	guard      genGuard
+	integOn    bool
 	nvmBump    uint64
 	seq        uint64
 
-	epochSt    mem.Cycle
-	lastCPU    []byte // CPU state of the most recent epoch checkpoint
-	overflow   bool
-	recoverCut mem.Cycle // one-shot power-failure instant for the next Recover
-	stats      ctl.Stats
-	tele       ctl.EpochSampler
+	epochSt      mem.Cycle
+	lastCPU      []byte // CPU state of the most recent epoch checkpoint
+	overflow     bool
+	recoverCut   mem.Cycle // one-shot power-failure instant for the next Recover
+	lastRecovery ctl.RecoveryReport
+	stats        ctl.Stats
+	tele         ctl.EpochSampler
 }
 
 type shadowPage struct {
@@ -75,10 +79,24 @@ func NewShadow(cfg Config) (*Shadow, error) {
 	}
 	s.pageScratch = alloc.NewRegion[*shadowPage](&s.epoch, cfg.DRAMPages)
 	s.blobScratch = alloc.NewRegion[byte](&s.epoch, 4096)
-	s.headerAddr[0] = cfg.PhysBytes
-	s.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	s.headerAddr = headerSlots(cfg.PhysBytes, cfg.generations())
+	s.blobArea = make([]struct{ addr, size uint64 }, cfg.generations())
+	s.guard.init(cfg.PhysBytes, cfg.guardOn())
+	s.integOn = cfg.Integrity
+	if cfg.Integrity {
+		nvmStore.EnableIntegrity()
+	}
 	s.nvmBump = cfg.PhysBytes + mem.PageSize
 	return s, nil
+}
+
+// readFailureCount samples the integrity layer's read-failure counter
+// (zero with integrity off) to attribute damage to media faults.
+func (s *Shadow) readFailureCount() uint64 {
+	if !s.integOn {
+		return 0
+	}
+	return s.nvm.Storage().IntegrityCounters().ReadFailures
 }
 
 // Name identifies the system in reports.
@@ -213,6 +231,15 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		}
 		rec.Event(uint64(now), obs.EvCkptBegin, epoch, 0)
 	}
+	// A dirty page's flush target is the shadow slot NOT currently
+	// committed — which some generation older than the previous one may
+	// still reference. Overwriting it destroys those older images, so the
+	// generation-safety floor rises to the previous generation first and
+	// the slot writes are ordered after the raise.
+	var gd mem.Cycle
+	if s.guard.on && s.seq > 0 {
+		gd = s.guard.raise(s.nvm, now, now, s.seq-1)
+	}
 	var pageBuf [mem.PageSize]byte
 	dirty := s.sortedPages()
 	for _, p := range dirty {
@@ -224,6 +251,9 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 			target = p.shadowB
 		}
 		rd := s.dram.Read(now, p.dramAddr, pageBuf[:])
+		if gd > rd {
+			rd = gd
+		}
 		_, done := s.nvm.WriteAt(now, rd, target, pageBuf[:], mem.SrcCheckpoint)
 		if done > maxDone {
 			maxDone = done
@@ -254,7 +284,8 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		}
 	}
 	blob = s.blobScratch.Keep(blob)
-	area := &s.blobArea[s.seq%2]
+	gen := s.seq % uint64(len(s.headerAddr))
+	area := &s.blobArea[gen]
 	if uint64(len(blob)) > area.size {
 		need := (uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
 		area.addr = s.nvmBump
@@ -263,7 +294,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 	}
 	_, blobDone := s.nvm.WriteAt(now, maxDone, area.addr, blob, mem.SrcCheckpoint)
 	header := encodeHeader(s.seq, area.addr, uint64(len(blob)), fnv64(blob))
-	_, commitDone := s.nvm.WriteAt(now, blobDone, s.headerAddr[s.seq%2], header, mem.SrcCheckpoint)
+	_, commitDone := s.nvm.WriteAt(now, blobDone, s.headerAddr[gen], header, mem.SrcCheckpoint)
 	s.seq++
 
 	s.stats.Commits++
@@ -373,7 +404,12 @@ func (s *Shadow) Crash(at mem.Cycle) {
 	s.dramBump = 0
 	s.lastCPU = nil
 	s.overflow = false
-	s.blobArea = [2]struct{ addr, size uint64 }{}
+	for i := range s.blobArea {
+		s.blobArea[i] = struct{ addr, size uint64 }{}
+	}
+	// The volatile mirror of the durable generation-safety floor is lost;
+	// Recover restores it from the guard record.
+	s.guard.reset()
 	s.nvmBump = s.cfg.PhysBytes + mem.PageSize
 	s.seq = 0
 }
@@ -384,15 +420,26 @@ func (s *Shadow) SetWriteFault(f mem.WriteFault) { s.nvm.SetWriteFault(f) }
 // SetCrashFault implements ctl.FaultInjectable (torn NVM persists).
 func (s *Shadow) SetCrashFault(f mem.CrashFault) { s.nvm.SetCrashFault(f) }
 
+// SetReadFault implements ctl.FaultInjectable (NVM media read errors).
+func (s *Shadow) SetReadFault(f mem.ReadFault) { s.nvm.SetReadFault(f) }
+
 // SetRecoverInterrupt implements ctl.RecoverInterrupter.
 func (s *Shadow) SetRecoverInterrupt(at mem.Cycle) { s.recoverCut = at }
+
+// LastRecovery implements ctl.RecoveryReporter.
+func (s *Shadow) LastRecovery() ctl.RecoveryReport { return s.lastRecovery }
 
 // CommitAt implements ctl.CommitReporter: flushes are stop-the-world.
 func (s *Shadow) CommitAt() (bool, mem.Cycle) { return false, 0 }
 
 // MetadataKind implements ctl.MetadataMapper.
 func (s *Shadow) MetadataKind(addr uint64) ctl.MetadataKind {
-	if addr == s.headerAddr[0] || addr == s.headerAddr[1] {
+	for _, h := range s.headerAddr {
+		if addr == h {
+			return ctl.MetaHeader
+		}
+	}
+	if addr == s.guard.addr {
 		return ctl.MetaHeader
 	}
 	for i := range s.blobArea {
@@ -407,24 +454,55 @@ func (s *Shadow) MetadataKind(addr uint64) ctl.MetadataKind {
 // Recover implements ctl.Controller: consolidate committed shadow copies
 // into the home region. Restartable: consolidation reads committed shadow
 // slots (never overwritten until the next commit) and only writes Home.
+// Damaged newer generations are walked past when that is provably safe
+// (above the generation-safety floor); otherwise recovery refuses with a
+// typed unrecoverable verdict rather than materialize a wrong image.
 func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 	cut := s.recoverCut
 	s.recoverCut = 0
 	armed := cut > 0
-	best, blob, t, ok := readBestCommit(s.nvm, 0, s.headerAddr)
+	s.lastRecovery = ctl.RecoveryReport{}
+	sc, t := scanCommits(s.nvm, 0, s.headerAddr, s.readFailureCount)
+	floor := uint64(0)
+	guardDamaged := false
+	if s.guard.on {
+		floor, guardDamaged, t = s.guard.read(s.nvm, t)
+	}
 	if armed && t >= cut {
 		s.Crash(cut)
 		return nil, cut, ctl.ErrRecoverInterrupted
 	}
-	if !ok {
+	floor, cold, err := sc.verdict("shadow", floor, guardDamaged)
+	if err != nil {
+		s.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, FallbackDepth: sc.depth}
+		return nil, t, err
+	}
+	if cold {
+		if s.integOn {
+			if fails := s.nvm.Storage().VerifyRange(0, s.cfg.PhysBytes); len(fails) > 0 {
+				s.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, ChecksumFailures: len(fails)}
+				return nil, t, fmt.Errorf("baseline: shadow: %d corrupt block(s) in the initial image: %w",
+					len(fails), ctl.ErrUnrecoverable)
+			}
+		}
+		s.lastRecovery = ctl.RecoveryReport{Class: ctl.RecoveredClean, ColdStart: true}
 		s.epochSt = t
 		return nil, t, nil
 	}
+	best, blob := sc.best, sc.bestBlob
 	cpuLen := binary.LittleEndian.Uint64(blob[0:])
 	cpuState := append([]byte(nil), blob[8:8+cpuLen]...)
 	off := 8 + int(cpuLen)
 	n := binary.LittleEndian.Uint64(blob[off:])
 	off += 8
+	// Consolidation overwrites Home bytes older generations still rely on:
+	// the durable floor rises to best first, the copies ordered after. The
+	// consolidation reads also integrity-check the shadow slots — a media
+	// failure under them aborts the recovery instead of materializing a
+	// poisoned image.
+	s.guard.floor = floor
+	intBase := s.readFailureCount()
+	gd := s.guard.raise(s.nvm, t, t, best.seq)
 	var pageBuf [mem.PageSize]byte
 	maxEnd := s.nvmBump
 	for i := uint64(0); i < n; i++ {
@@ -436,7 +514,10 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 		slot := binary.LittleEndian.Uint64(blob[off+8:])
 		off += 16
 		rd := s.nvm.Read(t, slot, pageBuf[:])
-		t = s.nvm.Write(rd, phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
+		if gd > rd {
+			rd = gd
+		}
+		t, _ = s.nvm.WriteAt(rd, gd, phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
 		if end := slot + mem.PageSize; end > maxEnd {
 			maxEnd = end
 		}
@@ -446,11 +527,24 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 		return nil, cut, ctl.ErrRecoverInterrupted
 	}
 	t = s.nvm.Flush(t)
+	if s.integOn {
+		if s.readFailureCount() != intBase {
+			s.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, FallbackDepth: sc.depth}
+			return nil, t, fmt.Errorf("baseline: shadow: media errors while reading generation %d checkpoint data: %w",
+				best.seq, ctl.ErrUnrecoverable)
+		}
+		if fails := s.nvm.Storage().VerifyRange(0, s.cfg.PhysBytes); len(fails) > 0 {
+			s.lastRecovery = ctl.RecoveryReport{Class: ctl.Unrecoverable, FallbackDepth: sc.depth, ChecksumFailures: len(fails)}
+			return nil, t, fmt.Errorf("baseline: shadow: %d corrupt block(s) in the recovered image of generation %d: %w",
+				len(fails), best.seq, ctl.ErrUnrecoverable)
+		}
+	}
 	if end := best.blobAddr + best.blobLen; end > maxEnd {
 		maxEnd = end
 	}
 	s.nvmBump = (maxEnd + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	s.seq = best.seq + 1
+	s.lastRecovery = sc.report()
 	s.epochSt = t
 	return cpuState, t, nil
 }

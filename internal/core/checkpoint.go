@@ -7,6 +7,43 @@ import (
 	"thynvm/internal/radix"
 )
 
+// guardIssue raises the durable generation-safety floor ahead of a write
+// that overwrites a recovery slot (a block/page checkpoint slot or a Home
+// copy), and returns the issue-cycle lower bound the destructive write must
+// respect. Overwriting the slot opposite an entry's last checkpoint — or
+// its Home copy — destroys the image generations older than that last
+// checkpoint depend on; the entry's idle count dates that checkpoint at
+// (newest committed − idle), so the floor rises there, durably, *before*
+// the destructive write issues. When the guard is off this returns 0 and
+// write ordering degenerates to the legacy behavior.
+func (c *Controller) guardIssue(now mem.Cycle, idle uint8) mem.Cycle {
+	if !c.guardOn || c.seq == 0 {
+		return 0
+	}
+	newest := c.seq - 1
+	floor := uint64(0)
+	if uint64(idle) < newest {
+		floor = newest - uint64(idle)
+	}
+	c.raiseGuard(now, floor)
+	return c.guardFloorDone
+}
+
+// raiseGuard durably records floor as the lowest generation recovery may
+// fall back to, if it exceeds the current floor. The raise is monotone and
+// at most one guard write per floor value is posted.
+func (c *Controller) raiseGuard(now mem.Cycle, floor uint64) {
+	if !c.guardOn || floor <= c.guardFloor {
+		return
+	}
+	encodeGuardInto(c.guardBuf[:], floor)
+	_, done := c.nvm.WriteWithCompletion(now, c.guardAddr, c.guardBuf[:], mem.SrcCheckpoint)
+	c.guardFloor = floor
+	if done > c.guardFloorDone {
+		c.guardFloorDone = done
+	}
+}
+
 // CheckpointDue implements ctl.Controller: the epoch timer has expired or a
 // table is near overflow, and no previous checkpoint is still draining.
 func (c *Controller) CheckpointDue(now mem.Cycle, cpuDirty bool) bool {
@@ -104,6 +141,9 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		case activeDRAM:
 			w := e.wAddr()
 			rd := c.dram.ReadBackground(now, e.bufAddr, blockBuf[:])
+			if gd := c.guardIssue(now, e.idle); gd > rd {
+				rd = gd
+			}
 			_, done := c.nvm.WriteAt(now, rd, w, blockBuf[:], mem.SrcCheckpoint)
 			if done > maxDone {
 				maxDone = done
@@ -141,6 +181,9 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		}
 		w := e.wAddr()
 		rd := c.dram.ReadBackground(now, e.dramAddr, pageBuf[:])
+		if gd := c.guardIssue(now, e.idle); gd > rd {
+			rd = gd
+		}
 		_, done := c.nvm.WriteAt(now, rd, w, pageBuf[:], mem.SrcCheckpoint)
 		if done > maxDone {
 			maxDone = done
@@ -155,7 +198,8 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	// header, ordered after every data write above and after any Home-
 	// consolidation copies posted at the previous commit.
 	blob := c.serializeTables(cpuState)
-	area := &c.tableArea[c.seq%2]
+	gen := c.seq % uint64(len(c.headerAddr))
+	area := &c.tableArea[gen]
 	if uint64(len(blob)) > area.size {
 		area.addr = c.allocNVMArea(uint64(len(blob)))
 		area.size = alignUp(uint64(len(blob)), mem.PageSize)
@@ -179,7 +223,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	c.execWriteMaxDone = 0
 
 	encodeHeaderInto(c.hdrBuf[:], c.seq, area.addr, uint64(len(blob)), fnv64(blob))
-	_, commitDone := c.nvm.WriteAt(now, maxDone, c.headerAddr[c.seq%2], c.hdrBuf[:], mem.SrcCheckpoint)
+	_, commitDone := c.nvm.WriteAt(now, maxDone, c.headerAddr[gen], c.hdrBuf[:], mem.SrcCheckpoint)
 	c.seq++
 	c.ckptInFlight = true
 	c.commitDone = commitDone
@@ -372,6 +416,9 @@ func (c *Controller) finalize() {
 	if c.cfg.Mode == ModeDual {
 		c.migrate(at)
 	}
+	if c.integOn {
+		c.scrubStep(at)
+	}
 	// The sealed epoch's counts are fully consumed; park the table for
 	// recycling at the next seal, and reset the epoch arena wholesale —
 	// every per-epoch work list and snapshot is dead past this point.
@@ -384,6 +431,27 @@ func (c *Controller) finalize() {
 		(c.cfg.Mode == ModeDual || c.cfg.Mode == ModeBlockRemap || c.cfg.Mode == ModeBlockWriteback ||
 			c.pages.Len() < c.cfg.PTTEntries-c.cfg.WatermarkEntries/mem.BlocksPerPage-1) {
 		c.overflowReq = false
+	}
+}
+
+// scrubChunkBudget bounds how many storage chunks one idle-cycle scrub
+// step verifies (per commit finalize), so patrol scrubbing progresses
+// without dominating finalize cost on large footprints.
+const scrubChunkBudget = 4
+
+// scrubStep advances the patrol scrub over the Home region during the
+// commit-finalize lull. The walk costs zero simulated cycles — real
+// hardware hides patrol scrubbing in idle memory slots; the model only
+// needs its detection side, surfaced as obs events.
+func (c *Controller) scrubStep(at mem.Cycle) {
+	scanned, fails := c.nvmStore.ScrubStep(scrubChunkBudget, c.cfg.PhysBytes)
+	if c.tele.On() {
+		if scanned > 0 {
+			c.tele.Rec().Event(uint64(at), obs.EvScrub, uint64(scanned), uint64(len(fails)))
+		}
+		for _, a := range fails {
+			c.tele.Rec().Event(uint64(at), obs.EvChecksumFail, a, 0)
+		}
 	}
 }
 
@@ -421,7 +489,18 @@ func (c *Controller) decay(at mem.Cycle) {
 		// Post the consolidation copy on the background port; the entry
 		// stays live (and serialized at its alt slot) until a commit
 		// proves the copy durable — consolidation never delays commits.
+		// In integrity mode the copy source is verified: a media failure
+		// under the read skips the Home write and leaves the entry live,
+		// so recovery re-reads the damaged slot and refuses loudly instead
+		// of a clean-checksummed wrong image propagating to Home.
+		intBase := c.readFailureCount()
 		rd := c.nvm.ReadBackground(at, e.clastAddr, blockBuf[:])
+		if c.readFailureCount() != intBase {
+			continue
+		}
+		if gd := c.guardIssue(at, e.idle); gd > rd {
+			rd = gd
+		}
 		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, blockBuf[:], mem.SrcMigration)
 		e.consolidateDone = done
 		blockBudget--
@@ -439,7 +518,14 @@ func (c *Controller) decay(at mem.Cycle) {
 			c.freePageEntry(e)
 			continue
 		}
+		intBase := c.readFailureCount()
 		rd := c.nvm.ReadBackground(at, e.clastAddr, pageBuf[:])
+		if c.readFailureCount() != intBase {
+			continue
+		}
+		if gd := c.guardIssue(at, e.idle); gd > rd {
+			rd = gd
+		}
 		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, pageBuf[:], mem.SrcMigration)
 		e.consolidateDone = done
 		pageBudget--
@@ -471,7 +557,14 @@ func (c *Controller) migrate(at mem.Cycle) {
 			c.freePageEntry(e)
 			continue
 		}
+		intBase := c.readFailureCount()
 		rd := c.nvm.ReadBackground(at, e.clastAddr, pageBuf[:])
+		if c.readFailureCount() != intBase {
+			continue
+		}
+		if gd := c.guardIssue(at, e.idle); gd > rd {
+			rd = gd
+		}
 		_, done := c.nvm.WriteAt(at, rd, e.homeAddr, pageBuf[:], mem.SrcMigration)
 		e.consolidateDone = done
 	}
@@ -499,11 +592,8 @@ func (c *Controller) migrate(at mem.Cycle) {
 			// decayed); let that complete before migrating back in.
 			continue
 		}
-		c.stats.MigrationsIn++
-		if c.tele.On() {
-			c.tele.Rec().Event(uint64(at), obs.EvMigrationIn, pageIdx, 0)
-		}
 		pe := c.allocPageEntry(pageIdx)
+		intBase := c.readFailureCount()
 		// Compose two images of the page from its blocks: the visible one
 		// (with any current-epoch working copies) for the DRAM Working
 		// Data Region, and the committed one (last-checkpoint data) for
@@ -555,6 +645,21 @@ func (c *Controller) migrate(at mem.Cycle) {
 			default:
 				copy(visImg[off:], homeImg[off:])
 			}
+		}
+		if c.readFailureCount() != intBase {
+			// Media failure while composing the committed image: abandon the
+			// migration so the poisoned read never lands in Home. The block
+			// entries stay authoritative and recovery will surface the
+			// damage.
+			c.freePageEntry(pe)
+			continue
+		}
+		c.stats.MigrationsIn++
+		if c.tele.On() {
+			c.tele.Rec().Event(uint64(at), obs.EvMigrationIn, pageIdx, 0)
+		}
+		if gd := c.guardIssue(at, 0); gd > rdMax {
+			rdMax = gd
 		}
 		c.dram.WriteAt(at, rdMax, pe.dramAddr, visImg[:], mem.SrcMigration)
 		_, done := c.nvm.WriteAt(at, rdMax, pe.homeAddr, homeImg[:], mem.SrcMigration)

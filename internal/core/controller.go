@@ -26,10 +26,13 @@ type Controller struct {
 	blocks radix.Table[*blockEntry] // BTT, keyed by physical block index
 	pages  radix.Table[*pageEntry]  // PTT, keyed by physical page index
 
-	// NVM hardware-address-space allocation beyond the Home region:
-	// two fixed 64 B header slots, then bump-allocated checkpoint slots
-	// and table-blob areas, with free lists for recycled slots.
-	headerAddr     [2]uint64
+	// NVM hardware-address-space allocation beyond the Home region: K
+	// fixed 64 B header slots (one per retained generation) and the
+	// generation-safety guard slot share the first metadata page, then
+	// bump-allocated checkpoint slots and table-blob areas follow, with
+	// free lists for recycled slots.
+	headerAddr     []uint64
+	guardAddr      uint64
 	nvmBumpStart   uint64
 	nvmBump        uint64
 	freeBlockSlots []uint64
@@ -41,7 +44,27 @@ type Controller struct {
 	freeDramPageSlots  []uint64
 
 	seq       uint64 // sequence number of the next checkpoint commit
-	tableArea [2]struct{ addr, size uint64 }
+	tableArea []struct{ addr, size uint64 }
+
+	// Generation-safety guard state. guardOn is set when fallback past the
+	// newest generation must be provably safe (integrity mode or K > 2):
+	// before any write that destroys data an older generation depends on,
+	// the durable guard record's floor is raised, and the destructive
+	// writes are issue-ordered after that raise. guardFloor mirrors the
+	// durable floor; guardFloorDone is the completion cycle of the latest
+	// raise, folded into dependent writes' issue cycles (0 when off —
+	// ordering then degenerates to the legacy behavior).
+	guardOn        bool
+	guardFloor     uint64
+	guardFloorDone mem.Cycle
+	guardBuf       [headerSize]byte
+
+	// integOn mirrors cfg.Integrity; nvmStore is the NVM backing store,
+	// cached for the integrity hot paths (scrub, read-failure deltas).
+	integOn  bool
+	nvmStore *mem.Storage
+
+	lastRecovery ctl.RecoveryReport
 
 	epochID     uint64
 	epochStart  mem.Cycle
@@ -101,8 +124,21 @@ func New(cfg Config) (*Controller, error) {
 	c.brecScratch = alloc.NewRegion[tableRec](&c.epoch, cfg.BTTEntries)
 	c.precScratch = alloc.NewRegion[tableRec](&c.epoch, cfg.PTTEntries)
 	c.blobScratch = alloc.NewRegion[byte](&c.epoch, 4096)
-	c.headerAddr[0] = cfg.PhysBytes
-	c.headerAddr[1] = cfg.PhysBytes + mem.BlockSize
+	gens := cfg.generations()
+	c.headerAddr = make([]uint64, gens)
+	for i := range c.headerAddr {
+		c.headerAddr[i] = cfg.PhysBytes + uint64(i)*mem.BlockSize
+	}
+	c.tableArea = make([]struct{ addr, size uint64 }, gens)
+	// The guard record lives in the last block of the metadata page, clear
+	// of every header slot (Generations is capped below BlocksPerPage).
+	c.guardAddr = cfg.PhysBytes + mem.PageSize - mem.BlockSize
+	c.guardOn = cfg.Integrity || gens > 2
+	c.integOn = cfg.Integrity
+	c.nvmStore = nvmStore
+	if cfg.Integrity {
+		nvmStore.EnableIntegrity()
+	}
 	c.nvmBumpStart = cfg.PhysBytes + mem.PageSize
 	c.nvmBump = c.nvmBumpStart
 	return c, nil
@@ -111,6 +147,17 @@ func New(cfg Config) (*Controller, error) {
 // NVMStorage exposes the NVM device's backing store for backend-level
 // operations (Sync, Snapshot, Close on mmap-backed images).
 func (c *Controller) NVMStorage() *mem.Storage { return c.nvm.Storage() }
+
+// readFailureCount returns the NVM integrity-mode read-failure counter (0
+// when integrity is off). Consolidation paths check deltas around their
+// background reads so a poisoned or bit-rotted source is never copied into
+// the Home region under a fresh checksum.
+func (c *Controller) readFailureCount() uint64 {
+	if !c.integOn {
+		return 0
+	}
+	return c.nvmStore.IntegrityCounters().ReadFailures
+}
 
 // MustNew is New for known-good configs (tests, examples).
 func MustNew(cfg Config) *Controller {
@@ -507,7 +554,9 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 		c.tele.StallSpan(now, ack, obs.CauseQueueFull)
 		return ack
 	case activeNVM:
-		ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
+		// Later stores reuse the slot the first store already guarded;
+		// they only need to issue after the floor raise is durable.
+		ack, done := c.nvm.WriteAt(now, c.guardFloorDone, be.wAddr(), data, mem.SrcCPU)
 		if done > c.execWriteMaxDone {
 			c.execWriteMaxDone = done
 		}
@@ -532,7 +581,11 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 		return ack
 	}
 	be.active = activeNVM
-	ack, done := c.nvm.WriteWithCompletion(now, be.wAddr(), data, mem.SrcCPU)
+	// The first store of the epoch claims the slot opposite the last
+	// checkpoint, destroying what older generations kept there: raise the
+	// generation-safety floor first (no-op with the guard off).
+	gd := c.guardIssue(now, be.idle)
+	ack, done := c.nvm.WriteAt(now, gd, be.wAddr(), data, mem.SrcCPU)
 	if done > c.execWriteMaxDone {
 		c.execWriteMaxDone = done
 	}
@@ -575,18 +628,20 @@ func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, 
 		}
 		// Remap on the critical path: copy the whole page to the new
 		// working location before the store can proceed (§2.3's "slow
-		// remapping").
+		// remapping"). The target slot is the one opposite the last
+		// checkpoint — guard the generations that still reference it.
+		gd := c.guardIssue(now, pe.idle)
 		var buf [mem.PageSize]byte
 		rdone := c.nvm.Read(now, pe.visibleNVMAddr(), buf[:])
 		var cpDone mem.Cycle
-		now, cpDone = c.nvm.WriteWithCompletion(rdone, pe.wAddr(), buf[:], mem.SrcCheckpoint)
+		now, cpDone = c.nvm.WriteAt(rdone, gd, pe.wAddr(), buf[:], mem.SrcCheckpoint)
 		if cpDone > c.execWriteMaxDone {
 			c.execWriteMaxDone = cpDone
 		}
 		pe.remapActive = true
 		pe.dirty = true
 	}
-	ack, done := c.nvm.WriteWithCompletion(now, pe.wAddr()+off, data, mem.SrcCPU)
+	ack, done := c.nvm.WriteAt(now, c.guardFloorDone, pe.wAddr()+off, data, mem.SrcCPU)
 	if done > c.execWriteMaxDone {
 		c.execWriteMaxDone = done
 	}
@@ -657,15 +712,27 @@ func (c *Controller) SetWriteFault(f mem.WriteFault) { c.nvm.SetWriteFault(f) }
 // writes in flight at a crash instant (torn persists).
 func (c *Controller) SetCrashFault(f mem.CrashFault) { c.nvm.SetCrashFault(f) }
 
+// SetReadFault implements ctl.FaultInjectable: the hook applies to reads
+// served by the durable (NVM) device (media-fault torture).
+func (c *Controller) SetReadFault(f mem.ReadFault) { c.nvm.SetReadFault(f) }
+
+// LastRecovery implements ctl.RecoveryReporter.
+func (c *Controller) LastRecovery() ctl.RecoveryReport { return c.lastRecovery }
+
 // SetRecoverInterrupt implements ctl.RecoverInterrupter: arm a one-shot
 // power failure at cycle at on the next Recover's timeline (0 disarms).
 func (c *Controller) SetRecoverInterrupt(at mem.Cycle) { c.recoverCut = at }
 
-// MetadataKind implements ctl.MetadataMapper: commit-header slots and the
-// two ping-pong table-blob areas are metadata; everything else (Home
-// region, checkpoint slots) is data.
+// MetadataKind implements ctl.MetadataMapper: commit-header slots (and the
+// generation-safety guard slot) and the per-generation table-blob areas are
+// metadata; everything else (Home region, checkpoint slots) is data.
 func (c *Controller) MetadataKind(addr uint64) ctl.MetadataKind {
-	if addr == c.headerAddr[0] || addr == c.headerAddr[1] {
+	for _, h := range c.headerAddr {
+		if addr == h {
+			return ctl.MetaHeader
+		}
+	}
+	if addr == c.guardAddr {
 		return ctl.MetaHeader
 	}
 	for i := range c.tableArea {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
+	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
 )
 
@@ -46,29 +49,46 @@ func TestRecoveryToleratesCorruptBlob(t *testing.T) {
 	c := MustNew(testConfig())
 	now := writeB(t, c, 0, 0, 1)
 	now = checkpoint(c, now)
+	now = writeB(t, c, now, 0, 2)
+	now = checkpoint(c, now)
+	blobAddrB := c.tableArea[1].addr
+	c.Crash(now)
+	// Corrupt the payload of the NEWER blob (commit seq 1 lives in area 1):
+	// its checksum must fail and recovery must fall back to the older
+	// commit (value 1), reporting the damaged generation it walked past.
+	corrupt(c, blobAddrB+16)
+	if _, _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readB(t, c, 0, 0)
+	if got != 1 {
+		t.Fatalf("recovered %d, want fallback to commit 0 (value 1)", got)
+	}
+	if r := c.LastRecovery(); r.Class != ctl.RecoveredFallback || r.FallbackDepth != 1 || r.Generation != 0 {
+		t.Fatalf("recovery report = %+v, want fallback depth 1 to generation 0", r)
+	}
+}
+
+func TestRecoveryRefusesWhenAllCommitsCorrupt(t *testing.T) {
+	c := MustNew(testConfig())
+	now := writeB(t, c, 0, 0, 1)
+	now = checkpoint(c, now)
 	blobAddrA := c.tableArea[0].addr
 	now = writeB(t, c, now, 0, 2)
 	now = checkpoint(c, now)
 	blobAddrB := c.tableArea[1].addr
 	c.Crash(now)
-	// Corrupt the payload of the NEWER blob: its checksum must fail and
-	// recovery must fall back to the older commit (value 1).
+	// Both retained blobs corrupted: checkpoints provably existed, so a
+	// silent cold start would lose committed data — recovery must refuse
+	// with a typed unrecoverable verdict, never return garbage.
 	corrupt(c, blobAddrA+16)
 	corrupt(c, blobAddrB+16)
-	// (Both corrupted: recovery must still not return garbage — with both
-	// commits invalid it cold-starts to the Home image.)
 	cpu, _, err := c.Recover()
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ctl.ErrUnrecoverable) {
+		t.Fatalf("Recover = (%v, %v), want ErrUnrecoverable", cpu, err)
 	}
-	got, _ := readB(t, c, 0, 0)
-	switch {
-	case cpu == nil && got == 0:
-		// cold start to initial image: acceptable
-	case got == 1 || got == 2:
-		// fell back to a valid commit: acceptable
-	default:
-		t.Fatalf("recovered garbage: cpu=%v value=%d", cpu, got)
+	if r := c.LastRecovery(); r.Class != ctl.Unrecoverable {
+		t.Fatalf("recovery report = %+v, want class detected-unrecoverable", r)
 	}
 }
 
@@ -87,6 +107,81 @@ func TestRecoveryFallsBackExactlyOneCommit(t *testing.T) {
 	if got != 1 {
 		t.Fatalf("recovered %d, want fallback to commit 0 (value 1)", got)
 	}
+}
+
+// TestRecoveryFallbackGenerations is the multi-generation fallback table
+// for the ThyNVM scheme: with K retained generations, corrupting the
+// newest commit's blob falls back exactly one generation; corrupting past
+// the durable generation-safety floor — or every retained commit —
+// refuses with a typed unrecoverable verdict, never a mismatched image.
+func TestRecoveryFallbackGenerations(t *testing.T) {
+	// build commits three generations (values 1, 2, 3 at block 0) under a
+	// 4-deep rotation. Each epoch's store to block 0 overwrites the
+	// ping-pong slot of the generation before last, raising the durable
+	// floor to seq-1: after commit 2 the floor is 1, so one fallback step
+	// is legal and two are not.
+	const committed, floorGen = 3, 1
+	build := func(t *testing.T) (*Controller, []uint64) {
+		t.Helper()
+		cfg := testConfig()
+		cfg.Generations = 4
+		c := MustNew(cfg)
+		now := mem.Cycle(0)
+		blobAddr := make([]uint64, committed)
+		for gen := byte(0); gen < committed; gen++ {
+			now = writeB(t, c, now, 0, gen+1)
+			now = checkpoint(c, now)
+			blobAddr[gen] = c.tableArea[gen].addr // Crash resets tableArea
+		}
+		c.Crash(now + 1_000_000)
+		return c, blobAddr
+	}
+	for k := 1; k <= committed; k++ {
+		bestGen := committed - 1 - k
+		wantRefusal := bestGen < floorGen
+		t.Run(fmt.Sprintf("corrupt-newest-%d", k), func(t *testing.T) {
+			c, blobAddr := build(t)
+			for i := 0; i < k; i++ {
+				corrupt(c, blobAddr[committed-1-i]+16)
+			}
+			cpu, _, err := c.Recover()
+			rep := c.LastRecovery()
+			if wantRefusal {
+				if !errors.Is(err, ctl.ErrUnrecoverable) {
+					t.Fatalf("corrupt newest %d of %d: Recover = (%q, %v), want ErrUnrecoverable", k, committed, cpu, err)
+				}
+				if rep.Class != ctl.Unrecoverable {
+					t.Fatalf("corrupt newest %d of %d: report %+v, want detected-unrecoverable", k, committed, rep)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("corrupt newest %d of %d: Recover: %v", k, committed, err)
+			}
+			got, _ := readB(t, c, 0, 0)
+			if got != byte(bestGen+1) {
+				t.Fatalf("corrupt newest %d of %d: recovered value %d, want generation %d's value %d",
+					k, committed, got, bestGen, bestGen+1)
+			}
+			if rep.Class != ctl.RecoveredFallback || rep.FallbackDepth != k || rep.Generation != uint64(bestGen) {
+				t.Fatalf("corrupt newest %d of %d: report %+v, want fallback depth %d to generation %d",
+					k, committed, rep, k, bestGen)
+			}
+		})
+	}
+	t.Run("clean", func(t *testing.T) {
+		c, _ := build(t)
+		if _, _, err := c.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := readB(t, c, 0, 0)
+		if got != committed {
+			t.Fatalf("clean recovery value %d, want %d", got, committed)
+		}
+		if rep := c.LastRecovery(); rep.Class != ctl.RecoveredClean || rep.FallbackDepth != 0 {
+			t.Fatalf("clean recovery report %+v, want recovered-clean", rep)
+		}
+	})
 }
 
 func TestHeaderChecksumDetectsEveryByteFlip(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"thynvm/internal/ctl"
 	"thynvm/internal/mem"
+	"thynvm/internal/obs"
 )
 
 // Metadata persistence format. Each checkpoint commit writes a table blob
@@ -17,6 +18,7 @@ import (
 const (
 	headerMagic = 0x5448594e564d4844 // "THYNVMHD"
 	blobMagic   = 0x5448594e564d5442 // "THYNVMTB"
+	guardMagic  = 0x5448594e564d4753 // "THYNVMGS"
 	headerSize  = mem.BlockSize
 )
 
@@ -49,6 +51,45 @@ func encodeHeaderInto(h []byte, seq, tableAddr, tableLen, tableSum uint64) {
 	binary.LittleEndian.PutUint64(h[24:], tableLen)
 	binary.LittleEndian.PutUint64(h[32:], tableSum)
 	binary.LittleEndian.PutUint64(h[40:], fnv64(h[:40]))
+}
+
+// encodeGuardInto writes the generation-safety guard record: the lowest
+// generation recovery may still fall back to. It is raised durably before
+// any write that destroys data an older generation's image depends on
+// (checkpoint-slot reuse, Home consolidation), so a fallback below the
+// floor is refused rather than silently reading overwritten slots.
+func encodeGuardInto(b []byte, floor uint64) {
+	for i := range b[:headerSize] {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b[0:], guardMagic)
+	binary.LittleEndian.PutUint64(b[8:], floor)
+	binary.LittleEndian.PutUint64(b[16:], fnv64(b[:16]))
+}
+
+// decodeGuard validates a guard record and returns the recorded floor.
+func decodeGuard(b []byte) (uint64, bool) {
+	if len(b) < headerSize {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(b[0:]) != guardMagic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(b[16:]) != fnv64(b[:16]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[8:]), true
+}
+
+// allZero reports whether a header slot has never been written (as opposed
+// to damaged: a nonzero slot that fails validation).
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 type header struct {
@@ -234,7 +275,13 @@ func (c *Controller) Crash(at mem.Cycle) {
 	c.ckptInFlight = false
 	c.overflowReq = false
 	c.homeCopyMaxDone = 0
-	c.tableArea = [2]struct{ addr, size uint64 }{}
+	for i := range c.tableArea {
+		c.tableArea[i] = struct{ addr, size uint64 }{}
+	}
+	// The volatile mirror of the durable generation-safety floor is lost;
+	// Recover restores it from the guard record.
+	c.guardFloor = 0
+	c.guardFloorDone = 0
 	// nvmBump and seq are restored by Recover from durable metadata.
 	c.nvmBump = c.nvmBumpStart
 	c.seq = 0
@@ -267,19 +314,57 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 	cut := c.recoverCut
 	c.recoverCut = 0
 	armed := cut > 0
+	c.lastRecovery = ctl.RecoveryReport{}
 	t := mem.Cycle(0)
+
+	// Classify every retained header slot: empty (never written), valid
+	// (header and blob checksums hold), or damaged. Damage is attributed
+	// before it weighs on the verdict, because torn in-flight writes and
+	// media faults have opposite contracts:
+	//
+	//   - An undecodable slot with no media read failure under it is a
+	//     commit torn by the crash itself. That commit was never
+	//     acknowledged, so ignoring the slot loses nothing durable.
+	//   - An undecodable slot whose read tripped the integrity layer is
+	//     media damage; whatever it held may have been acknowledged.
+	//   - A slot whose header decodes but whose blob checksum fails proves
+	//     an acknowledged commit existed (the header is ordered after its
+	//     blob, so a durable valid header implies the blob was durable
+	//     once). Damage there is either normal rotation wear (a newer
+	//     commit recycled the blob area: seq below the newest intact) or
+	//     destroyed committed data (seq at or above it).
 	var best *header
 	var bestBlob []byte
-	for i := 0; i < 2; i++ {
-		hbuf := make([]byte, headerSize)
+	tornSlots := 0 // torn unacknowledged commits: harmless crash wear
+	mediaDamage := 0
+	blobDamage := 0 // decodable header, corrupt blob: an acked commit damaged
+	type slotDamage struct {
+		blind bool
+		seq   uint64
+	}
+	damaged := make([]slotDamage, 0, len(c.headerAddr))
+	hbuf := make([]byte, headerSize)
+	for i := range c.headerAddr {
+		intBase := c.readFailureCount()
 		t = c.nvm.Read(t, c.headerAddr[i], hbuf)
+		if allZero(hbuf) {
+			continue
+		}
 		h, ok := decodeHeader(hbuf)
 		if !ok {
+			if c.readFailureCount() != intBase {
+				mediaDamage++
+				damaged = append(damaged, slotDamage{blind: true})
+			} else {
+				tornSlots++
+			}
 			continue
 		}
 		blob := make([]byte, h.tableLen)
 		t = c.nvm.Read(t, h.tableAddr, blob)
 		if fnv64(blob) != h.tableSum {
+			blobDamage++
+			damaged = append(damaged, slotDamage{seq: h.seq})
 			continue
 		}
 		if best == nil || h.seq > best.seq {
@@ -288,20 +373,102 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 			bestBlob = blob
 		}
 	}
+	realDamage := mediaDamage + blobDamage
+	depth := 0 // damaged generations newer than the one recovered to
+	for _, d := range damaged {
+		// A stale slot whose blob area was recycled by a newer commit is
+		// normal wear of the rotation, not a walked-past generation.
+		if d.blind || best == nil || d.seq > best.seq {
+			depth++
+		}
+	}
+
+	// The generation-safety floor: the lowest generation whose image is
+	// still intact on media (older generations' slots or Home bytes have
+	// been overwritten since).
+	floor := uint64(0)
+	guardDamaged := false
+	if c.guardOn {
+		gbuf := make([]byte, headerSize)
+		t = c.nvm.Read(t, c.guardAddr, gbuf)
+		if !allZero(gbuf) {
+			if f, ok := decodeGuard(gbuf); ok {
+				floor = f
+			} else {
+				guardDamaged = true
+			}
+		}
+	}
 	if armed && t >= cut {
 		return c.interruptRecovery(cut)
 	}
+
+	unrecoverable := func(format string, args ...any) ([]byte, mem.Cycle, error) {
+		c.lastRecovery.Class = ctl.Unrecoverable
+		c.lastRecovery.FallbackDepth = depth
+		args = append(args, ctl.ErrUnrecoverable)
+		return nil, t, fmt.Errorf("core: "+format+": %w", args...)
+	}
+
+	if guardDamaged {
+		if realDamage > 0 {
+			// Without a trustworthy floor, falling back past the newest
+			// generation cannot be proven safe.
+			return unrecoverable("generation guard and %d retained slot(s) damaged", realDamage)
+		}
+		// Every slot is intact or merely torn: recovering to the newest is
+		// always safe.
+		if best != nil {
+			floor = best.seq
+		}
+	}
 	if best == nil {
-		// Cold start: nothing committed; Home is authoritative.
+		if realDamage > 0 || floor > 0 {
+			// Acknowledged checkpoints existed (damaged committed slots or
+			// a raised floor prove it); restarting from the initial image
+			// would silently lose them. Torn slots alone do not refuse:
+			// they were never acknowledged.
+			return unrecoverable("no intact checkpoint among %d retained slot(s)", len(c.headerAddr))
+		}
+		// Cold start: nothing ever committed; Home is authoritative —
+		// after the integrity scrub clears the initial image.
+		if c.integOn {
+			if fails := c.nvmStore.VerifyRange(0, c.cfg.PhysBytes); len(fails) > 0 {
+				c.lastRecovery.ChecksumFailures = len(fails)
+				return unrecoverable("%d corrupt block(s) in the initial image", len(fails))
+			}
+		}
 		c.epochID = 0
 		c.epochStart = t
 		c.seq = 0
+		c.lastRecovery = ctl.RecoveryReport{Class: ctl.RecoveredClean, ColdStart: true}
 		return nil, t, nil
+	}
+	if best.seq < floor {
+		return unrecoverable("newest intact checkpoint %d predates the generation-safety floor %d",
+			best.seq, floor)
 	}
 	img, err := parseTables(bestBlob)
 	if err != nil {
+		c.lastRecovery.Class = ctl.Unrecoverable
+		c.lastRecovery.FallbackDepth = depth
 		return nil, t, fmt.Errorf("core: valid header %d names unparsable table: %w", best.seq, err)
 	}
+
+	// Consolidation overwrites Home with generation best's image,
+	// destroying anything older generations still relied on: raise the
+	// durable floor to best first and order the copies after the raise.
+	// The consolidation reads are also the integrity check of the
+	// checkpoint slots themselves — any media failure under them aborts
+	// the recovery instead of materializing a poisoned image.
+	c.guardFloor = floor
+	intBase := c.readFailureCount()
+	gd := mem.Cycle(0)
+	if c.guardOn && best.seq > floor {
+		c.raiseGuard(t, best.seq)
+		gd = c.guardFloorDone
+	}
+
 	// Consolidate checkpointed data into Home.
 	var blockBuf [mem.BlockSize]byte
 	maxBump := c.nvmBumpStart
@@ -310,7 +477,10 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 			return c.interruptRecovery(cut)
 		}
 		rd := c.nvm.Read(t, r.slot, blockBuf[:])
-		t = c.nvm.Write(rd, r.phys*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
+		if gd > rd {
+			rd = gd
+		}
+		t, _ = c.nvm.WriteAt(rd, gd, r.phys*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.BlockSize; end > maxBump {
 			maxBump = end
 		}
@@ -321,7 +491,10 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 			return c.interruptRecovery(cut)
 		}
 		rd := c.nvm.Read(t, r.slot, pageBuf[:])
-		t = c.nvm.Write(rd, r.phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
+		if gd > rd {
+			rd = gd
+		}
+		t, _ = c.nvm.WriteAt(rd, gd, r.phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.PageSize; end > maxBump {
 			maxBump = end
 		}
@@ -331,6 +504,19 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 		return c.interruptRecovery(cut)
 	}
 	t = c.nvm.Flush(t)
+	if c.integOn {
+		if c.readFailureCount() != intBase {
+			return unrecoverable("media errors while reading generation %d checkpoint data", best.seq)
+		}
+		// Post-recovery scrub of the software-visible image: anything
+		// bit-rot or dead cells damaged that consolidation did not
+		// rewrite is caught here, before software sees it.
+		if fails := c.nvmStore.VerifyRange(0, c.cfg.PhysBytes); len(fails) > 0 {
+			c.lastRecovery.ChecksumFailures = len(fails)
+			return unrecoverable("%d corrupt block(s) in the recovered image of generation %d",
+				len(fails), best.seq)
+		}
+	}
 	// Future allocations must not clobber the surviving metadata blob (it
 	// stays authoritative until the next commit) nor, conservatively, the
 	// slots just consolidated.
@@ -341,5 +527,12 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 	c.seq = best.seq + 1
 	c.epochID = img.epochID
 	c.epochStart = t
+	c.lastRecovery = ctl.RecoveryReport{Generation: best.seq, FallbackDepth: depth}
+	if depth > 0 {
+		c.lastRecovery.Class = ctl.RecoveredFallback
+		if c.tele.On() {
+			c.tele.Rec().Event(uint64(t), obs.EvRecoveryFallback, best.seq, uint64(depth))
+		}
+	}
 	return img.cpuState, t, nil
 }

@@ -95,10 +95,74 @@ type CommitReporter interface {
 
 // FaultInjectable is implemented by controllers that can forward fault
 // hooks to their durable (NVM) device for crash-torture campaigns. See
-// mem.WriteFault and mem.CrashFault for the two fault models.
+// mem.WriteFault, mem.CrashFault and mem.ReadFault for the fault models.
 type FaultInjectable interface {
 	SetWriteFault(f mem.WriteFault)
 	SetCrashFault(f mem.CrashFault)
+	SetReadFault(f mem.ReadFault)
+}
+
+// ErrUnrecoverable is wrapped by Recover when durable state is damaged
+// beyond what the scheme can repair: no retained checkpoint generation is
+// intact, falling back would read data a newer generation already
+// overwrote, or the post-recovery integrity scrub found corrupt blocks.
+// It is a clean refusal — the controller guarantees it never silently
+// returns a wrong image instead.
+var ErrUnrecoverable = errors.New("ctl: durable state unrecoverable")
+
+// RecoveryClass is the typed degraded-mode verdict of one recovery.
+type RecoveryClass int
+
+const (
+	// RecoveredClean: the newest retained checkpoint generation was intact
+	// and the integrity scrub (when enabled) found nothing.
+	RecoveredClean RecoveryClass = iota
+	// RecoveredFallback: one or more newer generations were damaged;
+	// recovery walked back to an older intact one (depth in the report).
+	RecoveredFallback
+	// Unrecoverable: no safe generation existed; Recover returned an error
+	// wrapping ErrUnrecoverable rather than a possibly-wrong image.
+	Unrecoverable
+)
+
+// String names the class as it appears in verdict logs.
+func (c RecoveryClass) String() string {
+	switch c {
+	case RecoveredClean:
+		return "recovered-clean"
+	case RecoveredFallback:
+		return "recovered-fallback"
+	case Unrecoverable:
+		return "detected-unrecoverable"
+	}
+	return "unknown"
+}
+
+// RecoveryReport describes how the last Recover call went: its verdict
+// class, how far it had to fall back, and what the integrity machinery
+// saw along the way.
+type RecoveryReport struct {
+	Class RecoveryClass
+	// FallbackDepth counts retained generation slots that held data but
+	// failed validation (header or blob checksum) — the generations walked
+	// past. Zero for a clean recovery.
+	FallbackDepth int
+	// Generation is the sequence number of the checkpoint recovered to
+	// (meaningful when a checkpoint was found).
+	Generation uint64
+	// ChecksumFailures counts corrupt blocks the post-recovery integrity
+	// scrub found (only ever non-zero alongside Unrecoverable).
+	ChecksumFailures int
+	// ColdStart is set when no checkpoint had ever committed and the
+	// system legitimately restarted from its initial image.
+	ColdStart bool
+}
+
+// RecoveryReporter is implemented by controllers that classify their
+// recoveries. LastRecovery is valid after a Recover call returns (also
+// after one that failed with ErrUnrecoverable).
+type RecoveryReporter interface {
+	LastRecovery() RecoveryReport
 }
 
 // MetadataKind classifies a durable-device address for fault injection.

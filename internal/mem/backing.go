@@ -97,6 +97,10 @@ const (
 	mmapVersion = 1
 	mmapHead    = storageChunk
 
+	// maxMmapCapacity bounds the data-region size a head may declare (256
+	// TiB — far beyond any simulation, far below uint64 overflow).
+	maxMmapCapacity = uint64(1) << 48
+
 	headOffMagic   = 0
 	headOffVersion = 8
 	headOffChunk   = 16
@@ -204,8 +208,17 @@ func OpenMmapStorage(path string) (*Storage, error) {
 		return fail(fmt.Errorf("mem: %s: image chunk size %d does not match build (%d)", path, got, storageChunk))
 	}
 	capBytes := binary.LittleEndian.Uint64(head[headOffCap:])
+	// Bound the declared capacity before deriving sizes from it: a corrupt
+	// head could otherwise overflow the total and alias a tiny file.
+	if capBytes == 0 || capBytes%storageChunk != 0 || capBytes > maxMmapCapacity {
+		return fail(fmt.Errorf("mem: %s: implausible image capacity %d in head", path, capBytes))
+	}
 	total := mmapHead + mmapMetaBytes(capBytes) + capBytes
-	if capBytes == 0 || capBytes%storageChunk != 0 || uint64(st.Size()) != total {
+	if uint64(st.Size()) < total {
+		return fail(fmt.Errorf("mem: %s: image truncated: file is %d bytes but the head declares %d (capacity %d) — refusing a partial image",
+			path, st.Size(), total, capBytes))
+	}
+	if uint64(st.Size()) != total {
 		return fail(fmt.Errorf("mem: %s: image capacity %d inconsistent with file size %d", path, capBytes, st.Size()))
 	}
 	mapping, err := mmapFile(f, int(total))

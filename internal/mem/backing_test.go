@@ -218,8 +218,30 @@ func TestMmapOpenRejectsBadImages(t *testing.T) {
 	wantErr(chunk, "chunk size")
 
 	capacity := mk("cap.img")
-	patch(capacity, headOffCap, []byte{0xff, 0xff, 0xff}) // capacity no longer matches file size
-	wantErr(capacity, "inconsistent with file size")
+	patch(capacity, headOffCap, []byte{0xff, 0xff, 0xff}) // not a chunk multiple
+	wantErr(capacity, "implausible image capacity")
+
+	huge := mk("huge.img")
+	// A chunk-aligned capacity beyond any plausible image: must be rejected
+	// before sizes are derived from it (overflow safety).
+	patch(huge, headOffCap, []byte{0, 0, 0, 0, 0, 0, 0, 0x80})
+	wantErr(huge, "implausible image capacity")
+
+	trunc := mk("trunc.img")
+	st, err := os.Stat(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(trunc, st.Size()-storageChunk); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(trunc, "image truncated")
+
+	grown := mk("grown.img")
+	if err := os.Truncate(grown, st.Size()+storageChunk); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(grown, "inconsistent with file size")
 
 	short := filepath.Join(dir, "short.img")
 	if err := os.WriteFile(short, []byte("tiny"), 0o644); err != nil {

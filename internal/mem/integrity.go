@@ -1,0 +1,339 @@
+package mem
+
+import "thynvm/internal/radix"
+
+// This file is the storage-level half of the media-fault model: optional
+// per-block checksums on the NVM data region (integrity mode), a scrub
+// walk that verifies them incrementally, and deterministic seeded fault
+// injection — bit-rot on idle chunks and dead (uncorrectable) chunks.
+// Both backends share it: faults mutate raw chunk bytes via chunkAt, and
+// checksums live beside the storage in heap memory on either backend, so
+// the mmap image format is unchanged.
+//
+// The threat model split: WriteFault/CrashFault (device.go) model the
+// write path lying at persist time; the media model here corrupts data
+// *at rest*, after it was stored correctly. Injection deliberately
+// bypasses checksum maintenance — that is the point: integrity mode
+// exists to catch exactly the mutations that did not come through Write.
+
+// blocksPerChunk is the number of checksum granules per storage chunk.
+const blocksPerChunk = storageChunk / BlockSize
+
+// deadPoison is the byte pattern a dead chunk returns on every read: the
+// simulated equivalent of an uncorrectable media error surfaced as poison
+// data. It is deliberately non-zero so unverified consumers fail loudly.
+const deadPoison = 0xDE
+
+// IntegrityCounters aggregates the observable side of integrity mode.
+type IntegrityCounters struct {
+	ReadFailures  uint64 // checksum mismatches seen by verified reads
+	ScrubChecks   uint64 // blocks verified by scrub walks
+	ScrubFailures uint64 // checksum mismatches found by scrub walks
+	DeadChunks    uint64 // chunks currently marked uncorrectable
+}
+
+// integrityState carries per-block checksums and media-fault state. It is
+// heap-side metadata parallel to the chunks, never part of an mmap image.
+type integrityState struct {
+	sums radix.Table[[]uint64] // per chunk: blocksPerChunk fnv64 sums
+	dead radix.Table[bool]     // chunk base -> uncorrectable
+
+	zeroSum uint64 // checksum of an all-zero block
+	cursor  uint64 // next chunk base the incremental scrub visits
+
+	counters IntegrityCounters
+}
+
+// storageSum is FNV-1a over one checksum granule.
+func storageSum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EnableIntegrity switches the storage into integrity mode: every Write
+// maintains a checksum per BlockSize granule, reads covering whole blocks
+// verify them, and ScrubStep/VerifyRange walk them on demand. Contents
+// already present (an attached image) are summed now, so enabling is safe
+// at any point before faults are injected.
+func (s *Storage) EnableIntegrity() {
+	if s.integ != nil {
+		return
+	}
+	st := &integrityState{zeroSum: storageSum(zeroChunk[:BlockSize])}
+	s.integ = st
+	s.scanChunks(func(base uint64, chunk []byte) bool {
+		st.resum(base, chunk)
+		return true
+	})
+}
+
+// IntegrityEnabled reports whether the storage maintains block checksums.
+func (s *Storage) IntegrityEnabled() bool { return s.integ != nil }
+
+// IntegrityCounters returns a copy of the integrity-mode counters.
+func (s *Storage) IntegrityCounters() IntegrityCounters {
+	if s.integ == nil {
+		return IntegrityCounters{}
+	}
+	return s.integ.counters
+}
+
+// sumsFor returns (allocating if needed) the checksum array of one chunk.
+func (st *integrityState) sumsFor(base uint64) []uint64 {
+	slot := st.sums.Ref(base)
+	if *slot == nil {
+		sums := make([]uint64, blocksPerChunk)
+		for i := range sums {
+			sums[i] = st.zeroSum
+		}
+		*slot = sums
+	}
+	return *slot
+}
+
+// resum recomputes every block checksum of one chunk from its contents.
+func (st *integrityState) resum(base uint64, chunk []byte) {
+	sums := st.sumsFor(base)
+	for i := 0; i < blocksPerChunk; i++ {
+		sums[i] = storageSum(chunk[i*BlockSize : (i+1)*BlockSize])
+	}
+}
+
+// integWrite is the integrity-mode write path: store the bytes, then
+// refresh the checksums of every block the write touched. It replaces the
+// hot-path fast paths with a plain chunk walk — integrity mode trades a
+// bounded slowdown for end-to-end verification.
+func (s *Storage) integWrite(addr uint64, data []byte) {
+	st := s.integ
+	for len(data) > 0 {
+		base := addr / storageChunk
+		off := int(addr % storageChunk)
+		n := storageChunk - off
+		if n > len(data) {
+			n = len(data)
+		}
+		var chunk []byte
+		if s.mm != nil {
+			s.mm.write(addr, data[:n])
+			chunk = s.mm.data[base*storageChunk : (base+1)*storageChunk]
+		} else {
+			slot := s.chunks.Ref(base)
+			if *slot == nil {
+				*slot = make([]byte, storageChunk)
+			}
+			copy((*slot)[off:off+n], data[:n])
+			chunk = *slot
+		}
+		sums := st.sumsFor(base)
+		for b := off / BlockSize; b*BlockSize < off+n; b++ {
+			sums[b] = storageSum(chunk[b*BlockSize : (b+1)*BlockSize])
+		}
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// integRead is the integrity-mode read path: read the bytes, overlay dead
+// chunk poison, and verify the checksum of every whole block the read
+// covers (partial blocks are left to the scrub walk). Mismatches are
+// counted, not failed — the device read already returned; the controller
+// observes the counter and the scrub confirms.
+func (s *Storage) integRead(addr uint64, buf []byte) {
+	st := s.integ
+	pos := 0
+	a := addr
+	for pos < len(buf) {
+		base := a / storageChunk
+		off := int(a % storageChunk)
+		n := storageChunk - off
+		if n > len(buf)-pos {
+			n = len(buf) - pos
+		}
+		if dead, _ := st.dead.Get(base); dead {
+			for i := pos; i < pos+n; i++ {
+				buf[i] = deadPoison
+			}
+			st.counters.ReadFailures++
+		} else if chunk, ok := s.chunkAt(base); ok {
+			copy(buf[pos:pos+n], chunk[off:off+n])
+			sums := st.sumsFor(base)
+			first := (off + BlockSize - 1) / BlockSize
+			last := (off + n) / BlockSize
+			for b := first; b < last; b++ {
+				if storageSum(chunk[b*BlockSize:(b+1)*BlockSize]) != sums[b] {
+					st.counters.ReadFailures++
+				}
+			}
+		} else {
+			copy(buf[pos:pos+n], zeroChunk[:n])
+		}
+		pos += n
+		a += uint64(n)
+	}
+}
+
+// VerifyRange checks every block checksum of touched chunks intersecting
+// [lo, hi) and returns the block addresses that fail — a dead chunk fails
+// wholesale. It does not advance the scrub cursor.
+func (s *Storage) VerifyRange(lo, hi uint64) []uint64 {
+	if s.integ == nil {
+		return nil
+	}
+	st := s.integ
+	var fails []uint64
+	s.scanChunks(func(base uint64, chunk []byte) bool {
+		cLo, cHi := base*storageChunk, (base+1)*storageChunk
+		if cHi <= lo || cLo >= hi {
+			return true
+		}
+		fails = st.verifyChunk(base, chunk, fails)
+		return true
+	})
+	// Dead chunks may sit outside the touched set view (heap chunks always
+	// exist once written, but be robust): fold in any in range not counted.
+	st.dead.Scan(func(base uint64, d bool) bool {
+		if !d {
+			return true
+		}
+		cLo := base * storageChunk
+		if cLo+storageChunk <= lo || cLo >= hi {
+			return true
+		}
+		if _, ok := s.chunkAt(base); !ok {
+			st.counters.ScrubFailures++
+			fails = append(fails, cLo)
+		}
+		return true
+	})
+	return fails
+}
+
+// verifyChunk scrubs one chunk, appending failing block addresses.
+func (st *integrityState) verifyChunk(base uint64, chunk []byte, fails []uint64) []uint64 {
+	if dead, _ := st.dead.Get(base); dead {
+		st.counters.ScrubChecks += blocksPerChunk
+		st.counters.ScrubFailures++
+		return append(fails, base*storageChunk)
+	}
+	sums := st.sumsFor(base)
+	for b := 0; b < blocksPerChunk; b++ {
+		st.counters.ScrubChecks++
+		if storageSum(chunk[b*BlockSize:(b+1)*BlockSize]) != sums[b] {
+			st.counters.ScrubFailures++
+			fails = append(fails, base*storageChunk+uint64(b)*BlockSize)
+		}
+	}
+	return fails
+}
+
+// ScrubStep advances the idle-cycle scrub walk by up to budget chunks
+// below limit (the data-region boundary), wrapping at the end. It returns
+// the chunks scanned and the block addresses that failed verification.
+func (s *Storage) ScrubStep(budget int, limit uint64) (scanned int, fails []uint64) {
+	if s.integ == nil || budget <= 0 {
+		return 0, nil
+	}
+	st := s.integ
+	start := st.cursor
+	wrapped := false
+	for scanned < budget {
+		advanced := false
+		s.scanChunks(func(base uint64, chunk []byte) bool {
+			if base < st.cursor || base*storageChunk >= limit {
+				return true
+			}
+			fails = st.verifyChunk(base, chunk, fails)
+			st.cursor = base + 1
+			scanned++
+			advanced = true
+			return scanned < budget
+		})
+		if !advanced {
+			if wrapped {
+				break
+			}
+			st.cursor = 0
+			wrapped = true
+			if start == 0 {
+				break
+			}
+		}
+	}
+	return scanned, fails
+}
+
+// splitmix64 advances a seeded deterministic PRNG state and returns the
+// next value; the storage-level media model must not depend on global
+// randomness (campaign replays are byte-identical).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d082a52d273456
+	return z ^ (z >> 31)
+}
+
+// touchedBases snapshots the touched chunk bases in ascending order, the
+// deterministic sample space for fault placement.
+func (s *Storage) touchedBases() []uint64 {
+	bases := make([]uint64, 0, s.touchedChunks())
+	s.scanChunks(func(base uint64, _ []byte) bool {
+		bases = append(bases, base)
+		return true
+	})
+	return bases
+}
+
+// InjectBitRot flips count bits at seeded-deterministic positions inside
+// touched chunks, mutating raw chunk bytes directly — bypassing checksum
+// maintenance, as real bit-rot would. It returns the block addresses hit.
+// Works identically on both backends; a no-op on an untouched storage.
+func (s *Storage) InjectBitRot(seed uint64, count int) []uint64 {
+	bases := s.touchedBases()
+	if len(bases) == 0 {
+		return nil
+	}
+	state := seed
+	hit := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		base := bases[splitmix64(&state)%uint64(len(bases))]
+		bit := splitmix64(&state) % (storageChunk * 8)
+		chunk, ok := s.chunkAt(base)
+		if !ok {
+			continue
+		}
+		chunk[bit/8] ^= 1 << (bit % 8)
+		hit = append(hit, base*storageChunk+BlockAlign(bit/8))
+	}
+	return hit
+}
+
+// InjectDeadChunks marks count seeded-deterministically chosen touched
+// chunks as uncorrectable: every subsequent read returns poison bytes and
+// every scrub reports them. Writes do not revive a dead chunk (stuck
+// cells). Returns the chunk base addresses killed. Requires integrity
+// mode (the poison overlay lives on the verified read path).
+func (s *Storage) InjectDeadChunks(seed uint64, count int) []uint64 {
+	if s.integ == nil {
+		return nil
+	}
+	bases := s.touchedBases()
+	if len(bases) == 0 {
+		return nil
+	}
+	state := seed
+	hit := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		base := bases[splitmix64(&state)%uint64(len(bases))]
+		if dead, _ := s.integ.dead.Get(base); !dead {
+			s.integ.dead.Set(base, true)
+			s.integ.counters.DeadChunks++
+			hit = append(hit, base*storageChunk)
+		}
+	}
+	return hit
+}

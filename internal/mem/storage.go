@@ -15,6 +15,11 @@ import "thynvm/internal/radix"
 type Storage struct {
 	chunks radix.Table[[]byte]
 	mm     *mmapBacking // non-nil: contents live in the mapped image instead
+
+	// integ, when non-nil, switches Read/Write onto the integrity-mode
+	// paths (per-block checksums, dead-chunk poison; integrity.go). It is
+	// heap-side state on both backends — never part of the image format.
+	integ *integrityState
 }
 
 // storageChunk is the allocation unit of Storage.
@@ -32,6 +37,10 @@ func NewStorage() *Storage {
 //
 //thynvm:hotpath
 func (s *Storage) Read(addr uint64, buf []byte) {
+	if s.integ != nil {
+		s.integRead(addr, buf)
+		return
+	}
 	if s.mm != nil {
 		s.mm.read(addr, buf)
 		return
@@ -66,6 +75,10 @@ func (s *Storage) Read(addr uint64, buf []byte) {
 //
 //thynvm:hotpath
 func (s *Storage) Write(addr uint64, data []byte) {
+	if s.integ != nil {
+		s.integWrite(addr, data)
+		return
+	}
 	if s.mm != nil {
 		s.mm.write(addr, data)
 		return

@@ -189,7 +189,8 @@ func (c *Collector) WriteChromeTrace(w io.Writer, cyclesPerUs float64) error {
 
 	for _, e := range c.Events {
 		switch e.Kind {
-		case EvCkptForced, EvMigrationIn, EvMigrationOut, EvCacheFlush:
+		case EvCkptForced, EvMigrationIn, EvMigrationOut, EvCacheFlush,
+			EvScrub, EvChecksumFail, EvRecoveryFallback:
 			emit(fmt.Sprintf("{\"name\":%q,\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}",
 				e.Kind.String(), chromeTS(e.Cycle, cyclesPerUs), pid, chromeTidEvents, e.A, e.B))
 		}

@@ -54,20 +54,33 @@ const (
 	// EvCacheFlush marks the harness's dirty-cache flush before a
 	// checkpoint. A = blocks flushed, B = flush cycles.
 	EvCacheFlush
+	// EvScrub marks one idle-cycle integrity scrub step over the NVM data
+	// region. A = chunks scanned, B = checksum failures found.
+	EvScrub
+	// EvChecksumFail marks one block failing integrity verification
+	// (scrub walk or post-recovery scrub). A = block address.
+	EvChecksumFail
+	// EvRecoveryFallback marks a recovery that walked past damaged
+	// checkpoint generations. A = generation recovered to, B = fallback
+	// depth (damaged newer generations skipped).
+	EvRecoveryFallback
 
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	EvEpochBegin:   "epoch_begin",
-	EvEpochEnd:     "epoch_end",
-	EvCkptBegin:    "ckpt_begin",
-	EvCkptDrain:    "ckpt_drain",
-	EvCkptComplete: "ckpt_complete",
-	EvCkptForced:   "ckpt_forced",
-	EvMigrationIn:  "migration_in",
-	EvMigrationOut: "migration_out",
-	EvCacheFlush:   "cache_flush",
+	EvEpochBegin:       "epoch_begin",
+	EvEpochEnd:         "epoch_end",
+	EvCkptBegin:        "ckpt_begin",
+	EvCkptDrain:        "ckpt_drain",
+	EvCkptComplete:     "ckpt_complete",
+	EvCkptForced:       "ckpt_forced",
+	EvMigrationIn:      "migration_in",
+	EvMigrationOut:     "migration_out",
+	EvCacheFlush:       "cache_flush",
+	EvScrub:            "scrub",
+	EvChecksumFail:     "checksum_fail",
+	EvRecoveryFallback: "recovery_fallback",
 }
 
 // String names the event kind as it appears in exported traces.

@@ -345,6 +345,16 @@ func (m *Machine) recoverOnce() (hadCheckpoint bool, err error) {
 	return true, nil
 }
 
+// LastRecovery returns the controller's classification of the most recent
+// Recover call (clean, fallback to an older generation, or unrecoverable),
+// or the zero report for controllers that do not classify recoveries.
+func (m *Machine) LastRecovery() ctl.RecoveryReport {
+	if r, ok := m.ctrl.(ctl.RecoveryReporter); ok {
+		return r.LastRecovery()
+	}
+	return ctl.RecoveryReport{}
+}
+
 // CheckpointStall returns the execution time lost to checkpoint calls
 // (cache flush + controller begin) observed by this harness.
 func (m *Machine) CheckpointStall() mem.Cycle { return m.ckptCallStall }

@@ -35,8 +35,9 @@ func outcomeLine(s *Schedule, o *Outcome) string {
 	if o.Violation != "" {
 		return fmt.Sprintf("[%s] VIOLATION: %s", s.Label, o.Violation)
 	}
-	return fmt.Sprintf("[%s] ok ckpts=%d crashes=%d matches=%d cold=%d restarts=%d tears=%d injected=%d cycles=%d",
-		s.Label, o.Checkpoints, o.Crashes, o.Matches, o.ColdStarts, o.Restarts, o.TearsFired, o.Injected, o.FinalCycle)
+	return fmt.Sprintf("[%s] ok ckpts=%d crashes=%d matches=%d cold=%d restarts=%d tears=%d injected=%d clean=%d fallbacks=%d maxfb=%d unrec=%d media=%d cycles=%d",
+		s.Label, o.Checkpoints, o.Crashes, o.Matches, o.ColdStarts, o.Restarts, o.TearsFired, o.Injected,
+		o.Clean, o.Fallbacks, o.MaxFallback, o.Unrecoverable, o.MediaFaults, o.FinalCycle)
 }
 
 // RunCampaign generates and executes the full schedule grid. Schedules run

@@ -2,6 +2,7 @@ package torture
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,7 +23,22 @@ type Outcome struct {
 	Restarts    uint64 // recovery attempts interrupted by a crash-during-recovery
 	TearsFired  uint64 // at-crash metadata tears that actually hit a persist
 	Injected    uint64 // silent fault activations
-	FinalCycle  mem.Cycle
+
+	// Degraded-mode verdict taxonomy. Every crash yields exactly one
+	// verdict: cold, clean, fallback:N, unrecoverable, or violation.
+	// Unrecoverable is a *clean refusal* under armed media faults or tears
+	// — it halts the schedule (the system declined to come back up)
+	// without counting as a violation; the violation verdict marks the
+	// failure the campaign exists to rule out, a recovered image matching
+	// no snapshot (silent corruption).
+	Clean         uint64   // recoveries classified recovered-clean that matched a snapshot
+	Fallbacks     uint64   // recoveries that fell back past damaged generations
+	MaxFallback   int      // deepest fallback depth observed
+	Unrecoverable uint64   // accepted detected-unrecoverable refusals (0 or 1; halts the schedule)
+	MediaFaults   uint64   // media faults that actually landed in the durable image
+	Verdicts      []string // per-crash verdict shape, in crash order
+
+	FinalCycle mem.Cycle
 }
 
 // engine executes one schedule on one freshly built system.
@@ -36,13 +52,18 @@ type engine struct {
 	out  *Outcome
 	isID bool // ideal system: engine-side crash-instant verification
 
-	tearFired bool
+	tearFired bool // a tear hit a persist at the current crash
+	tearEver  bool // any tear fired over the schedule's lifetime
+	mediaEver bool // any media fault landed over the schedule's lifetime
+	halted    bool // an accepted unrecoverable refusal ended the schedule
 }
 
 // Run executes a schedule and reports its outcome. A non-nil error means
-// the schedule itself was invalid; consistency violations are reported in
-// Outcome.Violation so the campaign can log, replay and shrink them.
-func Run(s *Schedule) (*Outcome, error) {
+// the schedule itself was invalid or its environment broke (e.g. an mmap
+// backend failing to release its image); consistency violations are
+// reported in Outcome.Violation so the campaign can log, replay and shrink
+// them.
+func Run(s *Schedule) (o *Outcome, err error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,12 +89,22 @@ func Run(s *Schedule) (*Outcome, error) {
 		// mmap-backed schedules exercise the whole crash/recover/verify
 		// cycle against a file-backed NVM image (temporary, removed by
 		// the deferred Close).
-		Backing: thynvm.StorageSpec{Backend: backend},
+		Backing:     thynvm.StorageSpec{Backend: backend},
+		Generations: s.Gens,
+		// Media-fault schedules need block checksums: without them media
+		// damage is undetectable by construction.
+		Integrity: s.Media != nil,
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer sys.Close()
+	// A Close failure (mmap munmap/unlink) must not pass as a clean outcome:
+	// the whole schedule ran against that backend.
+	defer func() {
+		if cerr := sys.Close(); cerr != nil && err == nil {
+			o, err = nil, cerr
+		}
+	}()
 	e := &engine{s: s, sys: sys, o: verify.New(), out: &Outcome{}, isID: isIdeal}
 	ctrl := sys.Machine.Controller()
 	e.mm, _ = ctrl.(ctl.MetadataMapper)
@@ -103,6 +134,9 @@ func Run(s *Schedule) (*Outcome, error) {
 	for i := range s.Ops {
 		if err := e.step(&s.Ops[i]); err != nil {
 			e.out.Violation = err.Error()
+			break
+		}
+		if e.halted {
 			break
 		}
 	}
@@ -239,6 +273,7 @@ func (e *engine) crash(op *Op) error {
 	crashAt := m.CrashNow()
 	if e.tearFired {
 		e.out.TearsFired++
+		e.tearEver = true
 		// The newest snapshot's commit was in flight (its persist got
 		// torn): it may still decode — a legitimate recovery point — but
 		// is no longer a guaranteed floor.
@@ -249,6 +284,7 @@ func (e *engine) crash(op *Op) error {
 			}
 		}
 	}
+	e.injectMedia()
 
 	restartsBefore := m.RecoveryRestarts()
 	hadCkpt, err := m.Recover()
@@ -257,6 +293,15 @@ func (e *engine) crash(op *Op) error {
 		e.fi.SetCrashFault(nil)
 	}
 	if err != nil {
+		if errors.Is(err, ctl.ErrUnrecoverable) && (e.mediaEver || e.tearEver) {
+			// A clean refusal under armed faults: the scheme detected
+			// damage it cannot repair and declined to serve a possibly
+			// wrong image. That is the contract — the schedule ends here.
+			e.out.Unrecoverable++
+			e.out.Verdicts = append(e.out.Verdicts, "unrecoverable")
+			e.halted = true
+			return nil
+		}
 		return fmt.Errorf("crash at cycle %d: recovery failed: %v", crashAt, err)
 	}
 
@@ -265,20 +310,35 @@ func (e *engine) crash(op *Op) error {
 		after := make([]byte, e.s.Footprint)
 		m.Peek(0, after)
 		if !bytes.Equal(after, idealImage) {
+			e.out.Verdicts = append(e.out.Verdicts, "violation")
 			return fmt.Errorf("crash at cycle %d: ideal system lost the crash-instant image", crashAt)
 		}
 		e.out.Matches++
+		e.out.Clean++
+		e.out.Verdicts = append(e.out.Verdicts, "clean")
 		return nil
 	}
 
 	idx, verr := e.o.Check(m.Controller(), crashAt, hadCkpt)
 	if verr != nil {
+		e.out.Verdicts = append(e.out.Verdicts, "violation")
 		return fmt.Errorf("crash at cycle %d: %v", crashAt, verr)
 	}
 	if idx < 0 {
 		e.out.ColdStarts++
+		e.out.Verdicts = append(e.out.Verdicts, "cold")
 	} else {
 		e.out.Matches++
+		if rep := m.LastRecovery(); rep.Class == ctl.RecoveredFallback {
+			e.out.Fallbacks++
+			if rep.FallbackDepth > e.out.MaxFallback {
+				e.out.MaxFallback = rep.FallbackDepth
+			}
+			e.out.Verdicts = append(e.out.Verdicts, fmt.Sprintf("fallback:%d", rep.FallbackDepth))
+		} else {
+			e.out.Clean++
+			e.out.Verdicts = append(e.out.Verdicts, "clean")
+		}
 		// Recovery consolidated this snapshot's content into the home
 		// region: it is durable from here on, even if its own commit had
 		// been torn.
@@ -288,4 +348,32 @@ func (e *engine) crash(op *Op) error {
 	// stale.
 	e.o.PruneAfter(idx)
 	return nil
+}
+
+// injectMedia lands the schedule's media faults in the durable image, after
+// the power failure and before recovery. The per-crash seed is derived from
+// the directive's seed and the crash ordinal, so each crash of a multi-crash
+// schedule damages different places — deterministically. Once any fault has
+// landed, no oracle snapshot remains a guaranteed floor.
+func (e *engine) injectMedia() {
+	mf := e.s.Media
+	if mf == nil {
+		return
+	}
+	st := e.sys.NVMStorage()
+	if st == nil {
+		return
+	}
+	seed := mix64(mf.Seed + e.out.Crashes)
+	var hit []uint64
+	if mf.Kind == "dead" {
+		hit = st.InjectDeadChunks(seed, mf.Count)
+	} else {
+		hit = st.InjectBitRot(seed, mf.Count)
+	}
+	if len(hit) > 0 {
+		e.out.MediaFaults += uint64(len(hit))
+		e.mediaEver = true
+		e.o.MarkAllFaulted()
+	}
 }

@@ -18,7 +18,13 @@ type GenConfig struct {
 	EpochNs   uint64   // default 50 µs (so automatic epochs can fire)
 	BTT, PTT  int      // default 256 / 64
 	Footprint uint64   // default 64 KiB, clamped to half the baseline DRAM
-	Inject    *SilentFault
+	Gens      int      // retained checkpoint generations per schedule (0 = scheme default)
+	// Media stamps every schedule with a media-fault directive. A zero
+	// Seed in the template is replaced by a per-schedule derived seed, so
+	// a sweep damages different places in every schedule while staying
+	// replayable from the campaign seed alone.
+	Media  *MediaFault
+	Inject *SilentFault
 }
 
 // AllSystemNames lists the five systems in campaign order.
@@ -94,6 +100,14 @@ func Generate(cfg GenConfig) []*Schedule {
 				BTT:       cfg.BTT,
 				PTT:       cfg.PTT,
 				Footprint: cfg.Footprint,
+				Gens:      cfg.Gens,
+			}
+			if cfg.Media != nil {
+				m := *cfg.Media
+				if m.Seed == 0 {
+					m.Seed = mix64(uint64(cfg.Seed)<<16 + uint64(idx) + 1)
+				}
+				s.Media = &m
 			}
 			if cfg.Inject != nil {
 				inj := *cfg.Inject

@@ -76,6 +76,20 @@ type Tear struct {
 	FlipBit int
 }
 
+// MediaFault is the schedule's media-damage directive: after every crash,
+// before recovery, Count faults of the given kind are injected into the
+// durable image at seeded-deterministic positions (the per-crash seed is
+// derived from Seed and the crash ordinal, so multi-crash schedules damage
+// different places each time). A schedule with media faults runs its system
+// with integrity mode on — without checksums media damage is undetectable
+// by construction — and accepts detected-unrecoverable refusals; what it
+// must never see is a recovered image matching no snapshot.
+type MediaFault struct {
+	Kind  string // bitrot | dead
+	Seed  uint64
+	Count int
+}
+
 // OpKind is one schedule step.
 type OpKind int
 
@@ -117,6 +131,8 @@ type Schedule struct {
 	EpochNs   uint64
 	BTT, PTT  int
 	Footprint uint64
+	Gens      int // retained checkpoint generations (0 = scheme default pair)
+	Media     *MediaFault
 	Inject    *SilentFault
 	Ops       []Op
 }
@@ -127,6 +143,10 @@ func (s *Schedule) Clone() *Schedule {
 	if s.Inject != nil {
 		inj := *s.Inject
 		c.Inject = &inj
+	}
+	if s.Media != nil {
+		m := *s.Media
+		c.Media = &m
 	}
 	c.Ops = make([]Op, len(s.Ops))
 	for i, op := range s.Ops {
@@ -163,6 +183,12 @@ func (s *Schedule) Encode() string {
 	fmt.Fprintf(&b, "btt %d\n", s.BTT)
 	fmt.Fprintf(&b, "ptt %d\n", s.PTT)
 	fmt.Fprintf(&b, "footprint %d\n", s.Footprint)
+	if s.Gens != 0 {
+		fmt.Fprintf(&b, "gens %d\n", s.Gens)
+	}
+	if s.Media != nil {
+		fmt.Fprintf(&b, "media %s:%d:%d\n", s.Media.Kind, s.Media.Seed, s.Media.Count)
+	}
 	if s.Inject != nil {
 		fmt.Fprintf(&b, "inject %s %d %s\n", s.Inject.Target, s.Inject.Nth,
 			faultMode(s.Inject.TruncTo, s.Inject.FlipBit))
@@ -314,6 +340,22 @@ func Parse(text string) (*Schedule, error) {
 			if s.Footprint, err = needU64(fields[1]); err != nil {
 				return nil, err
 			}
+		case "gens":
+			if len(fields) != 2 {
+				return nil, errf("want: gens <n>")
+			}
+			if s.Gens, err = needInt(fields[1]); err != nil {
+				return nil, err
+			}
+		case "media":
+			if len(fields) != 2 {
+				return nil, errf("want: media <bitrot|dead>:<seed>:<count>")
+			}
+			m, merr := parseMedia(fields[1])
+			if merr != nil {
+				return nil, errf("%v", merr)
+			}
+			s.Media = m
 		case "inject":
 			if len(fields) != 4 {
 				return nil, errf("want: inject <target> <nth> <mode:arg>")
@@ -348,6 +390,27 @@ func Parse(text string) (*Schedule, error) {
 		return nil, fmt.Errorf("torture: missing end")
 	}
 	return s, s.Validate()
+}
+
+// parseMedia decodes kind:seed:count, e.g. "bitrot:7:40" or "dead:3:2".
+func parseMedia(spec string) (*MediaFault, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("torture: bad media spec %q: want kind:seed:count", spec)
+	}
+	m := &MediaFault{Kind: parts[0]}
+	if m.Kind != "bitrot" && m.Kind != "dead" {
+		return nil, fmt.Errorf("torture: unknown media fault kind %q", m.Kind)
+	}
+	seed, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("torture: bad media seed %q", parts[1])
+	}
+	m.Seed = seed
+	if m.Count, err = strconv.Atoi(parts[2]); err != nil || m.Count <= 0 {
+		return nil, fmt.Errorf("torture: media count %q must be a positive integer", parts[2])
+	}
+	return m, nil
 }
 
 func parseOp(fields []string, errf func(string, ...any) error) (Op, error) {
@@ -443,6 +506,17 @@ func (s *Schedule) Validate() error {
 	}
 	if s.Footprint == 0 || s.Footprint > s.PhysBytes {
 		return fmt.Errorf("torture: schedule %q: footprint %d outside (0, phys %d]", s.Label, s.Footprint, s.PhysBytes)
+	}
+	if s.Gens != 0 && (s.Gens < 2 || s.Gens > int(mem.BlocksPerPage-1)) {
+		return fmt.Errorf("torture: schedule %q: gens %d outside {0} ∪ [2, %d]", s.Label, s.Gens, mem.BlocksPerPage-1)
+	}
+	if s.Media != nil {
+		if s.Media.Kind != "bitrot" && s.Media.Kind != "dead" {
+			return fmt.Errorf("torture: schedule %q: unknown media fault kind %q", s.Label, s.Media.Kind)
+		}
+		if s.Media.Count <= 0 {
+			return fmt.Errorf("torture: schedule %q: media count must be positive", s.Label)
+		}
 	}
 	if s.Inject != nil && s.Inject.Nth <= 0 {
 		return fmt.Errorf("torture: schedule %q: inject nth must be 1-based positive", s.Label)

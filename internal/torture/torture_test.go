@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -170,6 +171,57 @@ func TestScheduleRoundTrip(t *testing.T) {
 	s.Inject = &SilentFault{Target: TargetHeader, Nth: 3, TruncTo: 16}
 	if got, err := Parse(s.Encode()); err != nil || got.Inject == nil || *got.Inject != *s.Inject {
 		t.Fatalf("inject round-trip failed: %v", err)
+	}
+	// So do the generation-depth and media-fault directives.
+	s = scheds[0].Clone()
+	s.Gens = 5
+	s.Media = &MediaFault{Kind: "dead", Seed: 12345, Count: 2}
+	got, err := Parse(s.Encode())
+	if err != nil || got.Gens != 5 || got.Media == nil || *got.Media != *s.Media {
+		t.Fatalf("gens/media round-trip failed: err=%v got=%+v", err, got)
+	}
+	if got.Encode() != s.Encode() {
+		t.Fatalf("gens/media re-encode mismatch:\n%s\nvs\n%s", s.Encode(), got.Encode())
+	}
+}
+
+// TestMediaSweepNoSilentCorruption is the acceptance sweep: 300 schedules
+// across all five systems under seeded media faults (bit-rot and dead
+// chunks), every crash followed by injection before recovery. Any verdict
+// is acceptable — clean, fallback, cold, or a typed refusal — except a
+// silently wrong image, which the oracle reports as a violation.
+func TestMediaSweepNoSilentCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large campaign")
+	}
+	for _, mf := range []MediaFault{
+		{Kind: "bitrot", Count: 3},
+		{Kind: "dead", Count: 1},
+	} {
+		mf := mf
+		t.Run(mf.Kind, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCampaign(CampaignConfig{
+				Gen: GenConfig{
+					Seed:      1337,
+					Schedules: 30, // x5 systems x2 kinds = 300 schedules
+					MinOps:    20,
+					MaxOps:    70,
+					Gens:      4,
+					Media:     &mf,
+				},
+				Parallel: 0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("media sweep (%s) produced silent-corruption verdicts:\n%s", mf.Kind, res.Log)
+			}
+			if !strings.Contains(res.Log, "media=") || !regexp.MustCompile(`media=[1-9]`).MatchString(res.Log) {
+				t.Errorf("media sweep (%s) never landed a fault:\n%s", mf.Kind, res.Log)
+			}
+		})
 	}
 }
 

@@ -140,6 +140,17 @@ func (o *Oracle) MarkFaulted(idx int) {
 	}
 }
 
+// MarkAllFaulted flags every snapshot: media faults landed in the durable
+// image, so no commit — however cleanly it drained — is a guaranteed floor
+// anymore. Recovery falling back past (or refusing) damaged generations is
+// then legitimate; the recovered image must still exactly match *some*
+// snapshot, which is what rules out silent corruption.
+func (o *Oracle) MarkAllFaulted() {
+	for _, s := range o.snaps {
+		s.Faulted = true
+	}
+}
+
 // Solidify clears a snapshot's Faulted flag and stamps CommittedAt: after a
 // recovery verifiably reproduced it, its content is consolidated into the
 // durable home region and it becomes a sound floor for later crashes.

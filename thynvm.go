@@ -65,7 +65,25 @@ type (
 	Backend = mem.Backend
 	// StorageSpec configures the NVM backing store (see Options.Backing).
 	StorageSpec = mem.StorageSpec
+	// RecoveryReport classifies the outcome of the most recent recovery
+	// (clean, fallback to an older generation, or a refused unrecoverable
+	// state). See Machine.LastRecovery.
+	RecoveryReport = ctl.RecoveryReport
+	// RecoveryClass is the recovery verdict taxonomy.
+	RecoveryClass = ctl.RecoveryClass
 )
+
+// Recovery verdicts (see RecoveryClass).
+const (
+	RecoveredClean    = ctl.RecoveredClean
+	RecoveredFallback = ctl.RecoveredFallback
+	Unrecoverable     = ctl.Unrecoverable
+)
+
+// ErrUnrecoverable marks a recovery that refused to materialize a wrong
+// image: no retained checkpoint generation survived intact (or the media
+// under the recovered image failed verification). Test with errors.Is.
+var ErrUnrecoverable = ctl.ErrUnrecoverable
 
 // Storage backends for Options.Backing.
 const (
@@ -185,6 +203,17 @@ type Options struct {
 	// file-backed mapping (Capacity defaults to a generous multiple of
 	// PhysBytes, Path empty means a self-removing temporary file).
 	Backing StorageSpec
+	// Generations is the number of retained checkpoint generations for the
+	// checkpointing systems (ThyNVM, Journal, Shadow). 0 means the classic
+	// ping-pong pair; values in [2, 63] enable multi-generation recovery
+	// fallback. Ignored by the ideal systems.
+	Generations int
+	// Integrity enables the end-to-end media-fault defenses: per-block
+	// checksums on the NVM data region (maintained on the persist path,
+	// verified by the idle-cycle scrub and at recovery) and the durable
+	// generation-safety guard. Off by default — the integrity-off timing
+	// and NVM images are byte-identical to previous releases.
+	Integrity bool
 }
 
 // DefaultOptions mirrors the paper's evaluated configuration.
@@ -254,6 +283,8 @@ func NewSystem(kind SystemKind, opts Options) (*System, error) {
 			cfg.SwitchToBlock = cfg.SwitchToPage
 		}
 		cfg.NVMBacking = opts.Backing
+		cfg.Generations = opts.Generations
+		cfg.Integrity = opts.Integrity
 		ctrl, err = core.New(cfg)
 	case SystemIdealDRAM, SystemIdealNVM, SystemJournal, SystemShadow:
 		cfg := baseline.DefaultConfig()
@@ -262,6 +293,8 @@ func NewSystem(kind SystemKind, opts Options) (*System, error) {
 		cfg.JournalEntries = opts.BTTEntries + opts.PTTEntries
 		cfg.DRAMPages = opts.PTTEntries
 		cfg.NVMBacking = opts.Backing
+		cfg.Generations = opts.Generations
+		cfg.Integrity = opts.Integrity
 		switch kind {
 		case SystemIdealDRAM:
 			ctrl, err = baseline.NewIdealDRAM(cfg)
@@ -306,6 +339,11 @@ func (s *System) nvmStorage() *mem.Storage {
 	}
 	return nil
 }
+
+// NVMStorage exposes the persistent device's backing store for media-level
+// operations — fault injection (InjectBitRot, InjectDeadChunks), integrity
+// verification (VerifyRange) — or nil for a custom controller without one.
+func (s *System) NVMStorage() *mem.Storage { return s.nvmStorage() }
 
 // SyncStorage flushes an mmap-backed NVM image to its file (a no-op on the
 // heap backend).

@@ -5,7 +5,7 @@ BENCHPKGS := ./internal/radix ./internal/mem ./internal/cache ./internal/core ./
 BENCHTIME ?= 2s
 BENCHDIR  := bench
 
-.PHONY: all build test race vet lint bench bench-baseline bench-cmp bench-smoke clean
+.PHONY: all build test race vet lint lint-report bench bench-baseline bench-cmp bench-smoke clean
 
 all: build test
 
@@ -25,18 +25,30 @@ vet:
 # go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 STATICCHECK_VERSION := 2025.1.1
 
-# Static checks: stock go vet, then the project's own analyzers
-# (maporder, walltime, hotalloc, deferclose — see DESIGN.md §9), then
-# staticcheck when installed (skipped, not failed, in hermetic
-# environments with no module cache).
+# Static checks: stock go vet, then the project's own eight analyzers —
+# the intraprocedural four (maporder, walltime, hotalloc, deferclose; see
+# DESIGN.md §9) plus the interprocedural four (hotpathprop, persistguard,
+# errflow, gosafety; DESIGN.md §14) — first standalone (one module-wide
+# summary table), then through the go vet vettool protocol (per-package
+# .vetx summary facts), then staticcheck when installed (skipped, not
+# failed, in hermetic environments with no module cache).
 lint:
 	$(GO) vet $(PKGS)
 	$(GO) run ./cmd/thynvm-lint $(PKGS)
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/thynvm-lint ./cmd/thynvm-lint && \
+	$(GO) vet -vettool=$$tmp/thynvm-lint $(PKGS)
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck $(PKGS); \
 	else \
 		echo "staticcheck not installed; skipping (pin: staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
+
+# Escape-hatch audit: runs the suite, prints per-directive counts, and
+# exits 1 on any finding or on stale / unknown / reason-less //thynvm:
+# directives. CI uploads the output as an artifact.
+lint-report:
+	$(GO) run ./cmd/thynvm-lint -report $(PKGS)
 
 # Run the hot-path benchmarks and save the result for comparison.
 bench:

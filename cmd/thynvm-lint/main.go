@@ -1,20 +1,33 @@
 // Command thynvm-lint runs the project's custom static analyzers
-// (internal/analysis: maporder, walltime, hotalloc, deferclose) over Go
+// (internal/analysis: maporder, walltime, hotalloc, deferclose, and the
+// interprocedural hotpathprop, persistguard, errflow, gosafety) over Go
 // package patterns. The suite makes the simulator's headline guarantees —
 // byte-identical output for any -parallel value, zero-alloc hot paths,
-// profile/file cleanup on every CLI exit path — un-regressable at compile
-// time; the golden tests then only ever confirm what the checker already
-// proved.
+// profile/file cleanup on every CLI exit path, guard-before-destroy
+// checkpoint ordering, durable-error propagation — un-regressable at
+// compile time; the golden tests then only ever confirm what the checker
+// already proved.
+//
+// Standalone mode loads every matched package first and computes the
+// module-wide per-function summary table once (DESIGN.md §14), so the
+// interprocedural analyzers see the whole call graph regardless of which
+// package they are visiting.
 //
 // Usage:
 //
 //	thynvm-lint [packages]          # default: ./...
 //	thynvm-lint -list               # print the analyzers and exit
+//	thynvm-lint -report [packages]  # findings + escape-hatch audit
 //	go vet -vettool=$(which thynvm-lint) ./...
+//
+// -report additionally prints per-directive counts and fails (exit 1) on
+// stale allow-* directives that no longer suppress any finding, unknown
+// directive names, and allow-* directives missing a reason.
 //
 // Standalone exit status: 0 clean, 1 findings (or type errors), 2 usage or
 // load failure. Under go vet the unitchecker-style protocol is used
-// instead (see vettool.go).
+// instead, with summaries flowing between package units as .vetx facts
+// (see vettool.go).
 package main
 
 import (
@@ -40,7 +53,7 @@ func run(args []string) int {
 		case strings.HasPrefix(args[0], "-V"):
 			// The full output is go's build-cache fingerprint for vet
 			// results; bump the version when analyzer behavior changes.
-			fmt.Printf("thynvm-lint version thynvm-lint-v1.0.0\n")
+			fmt.Printf("thynvm-lint version thynvm-lint-v2.0.0\n")
 			return 0
 		case args[0] == "-flags":
 			fmt.Println("[]")
@@ -52,6 +65,7 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("thynvm-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	report := fs.Bool("report", false, "audit //thynvm: directives after the run (stale/unknown directives are errors)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,19 +85,36 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
 		return 2
 	}
+
+	// One summary table for the whole load: the interprocedural analyzers
+	// resolve call edges across package boundaries through it.
+	units := make([]analysis.SummaryUnit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = analysis.SummaryUnit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	}
+	sums := analysis.ComputeSummaries(units, nil)
+	audit := analysis.NewDirectiveAudit()
+
 	failed := false
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "thynvm-lint: %s: type error: %v\n", pkg.ImportPath, terr)
 			failed = true
 		}
-		diags, err := runAnalyzers(pkg)
+		diags, err := runAnalyzers(pkg, sums, audit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
 			return 2
 		}
 		for _, d := range diags {
 			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			failed = true
+		}
+	}
+	if *report {
+		r := analysis.BuildReport(units, audit)
+		fmt.Print(r.Format())
+		if !r.OK() {
 			failed = true
 		}
 	}
@@ -95,7 +126,7 @@ func run(args []string) int {
 
 // runAnalyzers applies the whole suite to one loaded package, returning
 // position-sorted diagnostics.
-func runAnalyzers(pkg *load.Package) ([]analysis.Diagnostic, error) {
+func runAnalyzers(pkg *load.Package, sums *analysis.Summaries, audit *analysis.DirectiveAudit) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range analysis.All {
 		pass := &analysis.Pass{
@@ -104,6 +135,8 @@ func runAnalyzers(pkg *load.Package) ([]analysis.Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Summaries: sums,
+			Audit:     audit,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

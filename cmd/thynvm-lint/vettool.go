@@ -27,6 +27,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -35,9 +36,16 @@ type vetConfig struct {
 // runVetTool services one `go vet -vettool=thynvm-lint` package unit:
 // parse the files named in the config, type-check against the export data
 // the go command already built for the dependencies, run the suite, and
-// report diagnostics on stderr (exit 1) the way unitchecker does. The
-// suite exports no cross-package facts, so the .vetx output is an empty
-// placeholder for go's cache.
+// report diagnostics on stderr (exit 1) the way unitchecker does.
+//
+// Since PR 10 the suite is interprocedural, so the .vetx fact files carry
+// real content: the per-function summary table for the unit's package,
+// JSON-serialized (analysis.Summaries.EncodeJSON), unioned with the
+// summaries imported from its dependencies' facts (cfg.PackageVetx). The
+// union re-export means each unit only needs its direct dependencies'
+// facts to see the whole transitive call graph. Packages outside this
+// module write empty facts without being parsed — their bodies carry no
+// summaries and skipping them keeps `go vet ./...` fast.
 func runVetTool(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -49,13 +57,12 @@ func runVetTool(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "thynvm-lint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
+	if !analysis.InModule(cfg.ImportPath) {
+		// Dependency outside the module: no summaries to compute, nothing to
+		// analyze. Emit empty facts for go's cache and stop.
+		if !writeFacts(cfg.VetxOutput, []byte("{}")) {
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
@@ -76,7 +83,11 @@ func runVetTool(cfgPath string) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0 // external-test unit: nothing in scope
+		// External-test unit: nothing in scope, no facts of its own.
+		if !writeFacts(cfg.VetxOutput, []byte("{}")) {
+			return 2
+		}
+		return 0
 	}
 
 	compiler := cfg.Compiler
@@ -98,10 +109,30 @@ func runVetTool(cfgPath string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(cfg.VetxOutput, []byte("{}"))
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "thynvm-lint: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+
+	// Summaries: imported facts from direct deps, plus this unit's own
+	// functions, re-exported as a union for dependents.
+	imported, ok := readDepFacts(cfg.PackageVetx)
+	if !ok {
+		return 2
+	}
+	sums := analysis.ComputeSummaries([]analysis.SummaryUnit{
+		{Fset: fset, Files: files, Pkg: tpkg, Info: info},
+	}, imported)
+	if facts, err := sums.EncodeJSON(); err != nil {
+		fmt.Fprintf(os.Stderr, "thynvm-lint: %s: encoding facts: %v\n", cfg.ImportPath, err)
+		return 2
+	} else if !writeFacts(cfg.VetxOutput, facts) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 
 	exit := 0
@@ -112,6 +143,7 @@ func runVetTool(cfgPath string) int {
 			Files:     files,
 			Pkg:       tpkg,
 			TypesInfo: info,
+			Summaries: sums,
 			Report: func(d analysis.Diagnostic) {
 				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 				exit = 1
@@ -123,4 +155,41 @@ func runVetTool(cfgPath string) int {
 		}
 	}
 	return exit
+}
+
+// writeFacts writes a .vetx fact file, reporting failure on stderr. A
+// missing VetxOutput (not requested) is success.
+func writeFacts(path string, data []byte) bool {
+	if path == "" {
+		return true
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
+		return false
+	}
+	return true
+}
+
+// readDepFacts decodes and merges the summary facts of every dependency
+// unit go vet lists in PackageVetx. Non-module dependencies contribute
+// empty tables.
+func readDepFacts(vetx map[string]string) (*analysis.Summaries, bool) {
+	var merged *analysis.Summaries
+	for path, file := range vetx {
+		if !analysis.InModule(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thynvm-lint:", err)
+			return nil, false
+		}
+		s, err := analysis.DecodeSummariesJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thynvm-lint: facts for %s: %v\n", path, err)
+			return nil, false
+		}
+		merged = merged.Merge(s)
+	}
+	return merged, true
 }

@@ -1,7 +1,8 @@
 // Package analysis implements the thynvm-lint static checks: a small,
-// dependency-free analog of golang.org/x/tools/go/analysis carrying four
-// project-specific analyzers that make the simulator's determinism and
-// hot-path guarantees un-regressable at compile time.
+// dependency-free analog of golang.org/x/tools/go/analysis carrying eight
+// project-specific analyzers that make the simulator's determinism,
+// hot-path, durability-ordering and error-flow guarantees un-regressable
+// at compile time.
 //
 // The framework mirrors the upstream API shape (Analyzer, Pass,
 // Diagnostic) so the analyzers could be ported to the real go/analysis
@@ -9,16 +10,30 @@
 // suite runs through internal/analysis/load (a go list + go/types package
 // loader) and cmd/thynvm-lint, entirely on the standard library.
 //
+// Since PR 10 the suite is interprocedural: a module-wide call graph with
+// per-function summaries (allocates? touches durable state? raises the
+// generation-safety guard? returns a durability-critical error?) is
+// computed bottom-up over strongly connected components (summary.go) and
+// shared by every analyzer through Pass.Summaries — see DESIGN.md §14.
+//
 // Escape hatches are line directives. A directive on the flagged line, or
 // on the line directly above it, suppresses the finding:
 //
-//	//thynvm:allow-maporder <reason>  — sanctioned map iteration
-//	//thynvm:allow-walltime <reason>  — sanctioned wall-clock/entropy use
-//	//thynvm:allow-alloc <reason>     — deliberate amortized allocation
-//	//thynvm:allow-nodefer <reason>   — cleanup proven on all paths by hand
+//	//thynvm:allow-maporder <reason>     — sanctioned map iteration
+//	//thynvm:allow-walltime <reason>     — sanctioned wall-clock/entropy use
+//	//thynvm:allow-alloc <reason>        — deliberate amortized allocation
+//	//thynvm:allow-nodefer <reason>      — cleanup proven on all paths by hand
+//	//thynvm:allow-errdrop <reason>      — durability error provably benign
+//	//thynvm:allow-concurrency <reason>  — sanctioned concurrency primitive
 //
-// and //thynvm:hotpath in a function's doc comment opts the function into
-// the hotalloc check. Every directive except hotpath requires a reason.
+// Marker directives classify code rather than suppress findings:
+// //thynvm:hotpath in a function's doc comment opts the function into the
+// hotalloc and hotpathprop checks, //thynvm:guard-raise marks a
+// generation-safety-guard raise primitive, and //thynvm:destroys-generation
+// <what> classifies a write (or a whole function) as destroying an older
+// checkpoint generation's image, obliging a dominating guard raise
+// (persistguard). Every allow-* directive requires a reason; stale and
+// unknown directives are errors in `thynvm-lint -report` (report.go).
 package analysis
 
 import (
@@ -40,8 +55,13 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All is the thynvm-lint suite in reporting order.
-var All = []*Analyzer{MapOrder, WallTime, HotAlloc, DeferClose}
+// All is the thynvm-lint suite in reporting order: the four
+// intraprocedural analyzers from PR 4, then the four interprocedural ones
+// from PR 10.
+var All = []*Analyzer{
+	MapOrder, WallTime, HotAlloc, DeferClose,
+	HotPathProp, PersistGuard, ErrFlow, GoSafety,
+}
 
 // A Pass provides one analyzer with one type-checked package.
 type Pass struct {
@@ -52,8 +72,30 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
+	// Summaries holds the module-wide per-function summary table
+	// (summary.go). Drivers that load the whole module compute it once and
+	// share it across analyzers and packages; when nil, the interprocedural
+	// analyzers fall back to summaries of the current package only.
+	Summaries *Summaries
+
+	// Audit, when non-nil, records every escape-hatch directive that
+	// suppresses a finding, so `thynvm-lint -report` can flag the stale
+	// ones (report.go).
+	Audit *DirectiveAudit
+
 	// directives caches the per-file line → directive table.
 	directives map[*ast.File]map[int][]directive
+}
+
+// summaries returns the module summary table, computing a package-local
+// one on first use when the driver supplied none (fixture runs).
+func (p *Pass) summaries() *Summaries {
+	if p.Summaries == nil {
+		p.Summaries = ComputeSummaries([]SummaryUnit{{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.TypesInfo,
+		}}, nil)
+	}
+	return p.Summaries
 }
 
 // A Diagnostic is one finding at one source position.
@@ -88,12 +130,8 @@ func parseDirective(text string) (directive, bool) {
 	return directive{name: name, reason: strings.TrimSpace(reason)}, true
 }
 
-// fileDirectives returns the line → directives table for file, building it
-// on first use.
-func (p *Pass) fileDirectives(file *ast.File) map[int][]directive {
-	if d, ok := p.directives[file]; ok {
-		return d
-	}
+// directiveLines builds the line → directives table for one file.
+func directiveLines(fset *token.FileSet, file *ast.File) map[int][]directive {
 	table := make(map[int][]directive)
 	for _, group := range file.Comments {
 		for _, c := range group.List {
@@ -101,9 +139,20 @@ func (p *Pass) fileDirectives(file *ast.File) map[int][]directive {
 			if !ok {
 				continue
 			}
-			table[p.Fset.Position(c.Pos()).Line] = append(table[p.Fset.Position(c.Pos()).Line], d)
+			line := fset.Position(c.Pos()).Line
+			table[line] = append(table[line], d)
 		}
 	}
+	return table
+}
+
+// fileDirectives returns the line → directives table for file, building it
+// on first use.
+func (p *Pass) fileDirectives(file *ast.File) map[int][]directive {
+	if d, ok := p.directives[file]; ok {
+		return d
+	}
+	table := directiveLines(p.Fset, file)
 	if p.directives == nil {
 		p.directives = make(map[*ast.File]map[int][]directive)
 	}
@@ -111,13 +160,12 @@ func (p *Pass) fileDirectives(file *ast.File) map[int][]directive {
 	return table
 }
 
-// Allowed reports whether a finding at pos inside file is suppressed by an
-// //thynvm:<name> directive on the same line or the line directly above.
-// Directives without a reason do not suppress anything: the reason is the
-// audit trail the escape hatch exists to capture.
-func (p *Pass) Allowed(file *ast.File, pos token.Pos, name string) bool {
-	table := p.fileDirectives(file)
-	line := p.Fset.Position(pos).Line
+// allowedAt reports whether table carries an //thynvm:<name> directive with
+// a reason on pos's line or the line directly above. Directives without a
+// reason do not suppress anything: the reason is the audit trail the escape
+// hatch exists to capture.
+func allowedAt(table map[int][]directive, fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
 	for _, d := range append(table[line], table[line-1]...) {
 		if d.name == name && d.reason != "" {
 			return true
@@ -126,17 +174,57 @@ func (p *Pass) Allowed(file *ast.File, pos token.Pos, name string) bool {
 	return false
 }
 
-// HotPath reports whether fn's doc comment carries //thynvm:hotpath.
-func HotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if d, ok := parseDirective(c.Text); ok && d.name == "hotpath" {
+// Allowed reports whether a finding at pos inside file is suppressed by an
+// //thynvm:<name> directive on the same line or the line directly above,
+// and records the suppression with the pass's directive audit if one is
+// attached.
+func (p *Pass) Allowed(file *ast.File, pos token.Pos, name string) bool {
+	table := p.fileDirectives(file)
+	line := p.Fset.Position(pos).Line
+	for _, d := range append(table[line], table[line-1]...) {
+		if d.name == name && d.reason != "" {
+			if p.Audit != nil {
+				// The suppressing directive is on the finding's line or the
+				// one above; record whichever line actually carries it.
+				dLine := line
+				if !directiveOnLine(table[line], name) {
+					dLine = line - 1
+				}
+				p.Audit.hit(p.Fset.Position(pos).Filename, dLine, name)
+			}
 			return true
 		}
 	}
 	return false
+}
+
+func directiveOnLine(ds []directive, name string) bool {
+	for _, d := range ds {
+		if d.name == name && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// docDirective returns the first //thynvm:<name> directive in fn's doc
+// comment.
+func docDirective(fn *ast.FuncDecl, name string) (directive, bool) {
+	if fn.Doc == nil {
+		return directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.name == name {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// HotPath reports whether fn's doc comment carries //thynvm:hotpath.
+func HotPath(fn *ast.FuncDecl) bool {
+	_, ok := docDirective(fn, "hotpath")
+	return ok
 }
 
 // funcObj resolves a call's callee to its *types.Func (package function or

@@ -33,3 +33,24 @@ func TestDeferClose(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeferClose,
 		"thynvm/cmd/deferfixture")
 }
+
+func TestHotPathProp(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPathProp,
+		"thynvm/internal/core/hotpropfixture")
+}
+
+func TestPersistGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PersistGuard,
+		"thynvm/internal/core/guardfixture")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ErrFlow,
+		"thynvm/internal/mem/errfixture")
+}
+
+func TestGoSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoSafety,
+		"thynvm/internal/core/gofixture",
+		"thynvm/cmd/gofixture")
+}

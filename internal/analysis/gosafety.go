@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoSafety is the guard rail the future concurrent serving layer will be
+// built behind (ROADMAP; DESIGN.md §14): the sim packages are
+// deterministic precisely because they are single-goroutine, so naked `go`
+// statements, channel operations and raw sync/sync-atomic primitives are
+// forbidden inside the sim scope. Sanctioned concurrency lives in
+// internal/pool (outside the scope), behind an interface whose
+// deterministic merging is tested; anything else needs
+// //thynvm:allow-concurrency <reason> on the line.
+var GoSafety = &Analyzer{
+	Name: "gosafety",
+	Doc: "forbid go statements, channel ops and sync primitives in the sim " +
+		"packages (escape hatch: //thynvm:allow-concurrency <reason>)",
+	Run: runGoSafety,
+}
+
+func runGoSafety(pass *Pass) error {
+	if !InSimScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		flag := func(pos token.Pos, what string) {
+			if pass.Allowed(file, pos, "allow-concurrency") {
+				return
+			}
+			pass.Reportf(pos, "%s in deterministic sim package %s; route through internal/pool "+
+				"or annotate //thynvm:allow-concurrency <reason>", what, pass.Pkg.Path())
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				flag(n.Pos(), "go statement")
+			case *ast.SendStmt:
+				flag(n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					flag(n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				flag(n.Pos(), "select statement")
+			case *ast.RangeStmt:
+				if isChan(pass.TypesInfo.TypeOf(n.X)) {
+					flag(n.Pos(), "range over channel")
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				switch b.Name() {
+				case "close":
+					flag(n.Pos(), "channel close")
+				case "make":
+					if isChan(pass.TypesInfo.TypeOf(n.Args[0])) {
+						flag(n.Pos(), "make of a channel")
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					flag(n.Pos(), "use of "+obj.Pkg().Path()+"."+n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

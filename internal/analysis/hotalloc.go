@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -23,6 +24,10 @@ import (
 // Deliberate slow-path allocations — lazy chunk allocation, table growth —
 // stay legal with a //thynvm:allow-alloc <reason> directive on the line,
 // which is the audit trail for every amortized-to-zero exception.
+//
+// HotAlloc checks annotated bodies only; the transitive closure of their
+// callees is covered by HotPathProp using the same allocInspect walk via
+// the function summaries.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "flag heap-allocating constructs inside //thynvm:hotpath functions " +
@@ -37,82 +42,85 @@ func runHotAlloc(pass *Pass) error {
 			if !ok || fn.Body == nil || !HotPath(fn) {
 				continue
 			}
-			checkHotFunc(pass, file, fn)
+			allocInspect(pass.TypesInfo, fn.Body, receiverRooted(fn), func(pos token.Pos, what string) {
+				if pass.Allowed(file, pos, "allow-alloc") {
+					return
+				}
+				pass.Reportf(pos, "%s in hotpath function %s; restructure or annotate //thynvm:allow-alloc <reason>",
+					what, fn.Name.Name)
+			})
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
-	rooted := receiverRooted(fn)
-	flag := func(pos token.Pos, format string, args ...any) {
-		if pass.Allowed(file, pos, "allow-alloc") {
-			return
-		}
-		args = append(args, fn.Name.Name)
-		pass.Reportf(pos, format+" in hotpath function %s; restructure or annotate //thynvm:allow-alloc <reason>", args...)
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// allocInspect walks body and emits every construct the hotalloc rules
+// classify as heap-allocating, with a human-readable description. rooted is
+// the receiver-derived identifier set from receiverRooted. It is shared by
+// the hotalloc analyzer (annotated bodies) and the summary builder (every
+// function, so allocation facts propagate interprocedurally).
+func allocInspect(info *types.Info, body *ast.BlockStmt, rooted map[string]bool, emit func(pos token.Pos, what string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotCall(pass, n, rooted, flag)
+			allocInspectCall(info, n, rooted, emit)
 		case *ast.CompositeLit:
-			t := pass.TypesInfo.TypeOf(n)
+			t := info.TypeOf(n)
 			if t == nil {
 				return true
 			}
 			switch t.Underlying().(type) {
 			case *types.Slice:
-				flag(n.Pos(), "slice literal allocates")
+				emit(n.Pos(), "slice literal allocates")
 			case *types.Map:
-				flag(n.Pos(), "map literal allocates")
+				emit(n.Pos(), "map literal allocates")
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					flag(lit.Pos(), "&composite literal escapes to the heap")
+					emit(lit.Pos(), "&composite literal escapes to the heap")
 				}
 			}
 		case *ast.FuncLit:
-			flag(n.Pos(), "closure allocates (captured variables escape)")
+			emit(n.Pos(), "closure allocates (captured variables escape)")
 			return false // a closure body is not the hot path's fast path
 		case *ast.BinaryExpr:
 			if n.Op != token.ADD {
 				return true
 			}
-			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
-				flag(n.Pos(), "string concatenation allocates")
+			if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				emit(n.Pos(), "string concatenation allocates")
 			}
 		}
 		return true
 	})
 }
 
-// checkHotCall applies the call-shaped hotalloc rules.
-func checkHotCall(pass *Pass, call *ast.CallExpr, rooted map[string]bool, flag func(token.Pos, string, ...any)) {
+// allocInspectCall applies the call-shaped allocation rules.
+func allocInspectCall(info *types.Info, call *ast.CallExpr, rooted map[string]bool, emit func(token.Pos, string)) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				flag(call.Pos(), "make allocates")
+				emit(call.Pos(), "make allocates")
 			case "new":
-				flag(call.Pos(), "new allocates")
+				emit(call.Pos(), "new allocates")
 			case "append":
 				if len(call.Args) > 0 && !exprRooted(call.Args[0], rooted) {
-					flag(call.Pos(), "append to a slice not derived from the receiver may allocate per call")
+					emit(call.Pos(), "append to a slice not derived from the receiver may allocate per call")
 				}
 			}
 			return
 		}
 	}
-	if fn := funcObj(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+	if fn := funcObj(info, call); fn != nil && fn.Pkg() != nil {
 		switch fn.Pkg().Path() {
 		case "fmt", "log", "errors":
-			flag(call.Pos(), "%s.%s allocates", fn.Pkg().Path(), fn.Name())
+			emit(call.Pos(), fmt.Sprintf("%s.%s allocates", fn.Pkg().Path(), fn.Name()))
 			return
 		}
 	}
-	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return // conversion or builtin, handled above
 	}
@@ -121,11 +129,11 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, rooted map[string]bool, flag f
 		if pt == nil || !types.IsInterface(pt) {
 			continue
 		}
-		at := pass.TypesInfo.TypeOf(arg)
+		at := info.TypeOf(arg)
 		if at == nil || types.IsInterface(at) || isUntypedNil(at) || isPointerLike(at) {
 			continue
 		}
-		flag(arg.Pos(), "implicit conversion of %s to interface parameter boxes the value", at)
+		emit(arg.Pos(), fmt.Sprintf("implicit conversion of %s to interface parameter boxes the value", at))
 	}
 }
 

@@ -12,10 +12,13 @@ import (
 )
 
 // TestTreeIsClean is the suite's core guarantee, run in-process: every
-// package of this module passes all four analyzers. Any regression — a
-// map range sneaking into internal/core, an allocation eroding a
-// //thynvm:hotpath function — fails `go test` before it can reach CI's
-// lint step.
+// package of this module passes all eight analyzers, sharing one
+// module-wide summary table the way cmd/thynvm-lint does. Any regression —
+// a map range sneaking into internal/core, an allocation eroding a
+// //thynvm:hotpath function's transitive call tree, a guard raise deleted
+// before a generation-destroying write — fails `go test` before it can
+// reach CI's lint step. The directive audit runs too: a stale allow-*
+// escape hatch anywhere in the tree is a failure.
 func TestTreeIsClean(t *testing.T) {
 	pkgs, err := load.Packages("../..", "./...")
 	if err != nil {
@@ -24,6 +27,12 @@ func TestTreeIsClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
 	}
+	units := make([]analysis.SummaryUnit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = analysis.SummaryUnit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	}
+	sums := analysis.ComputeSummaries(units, nil)
+	audit := analysis.NewDirectiveAudit()
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", pkg.ImportPath, terr)
@@ -35,6 +44,8 @@ func TestTreeIsClean(t *testing.T) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Summaries: sums,
+				Audit:     audit,
 				Report: func(d analysis.Diagnostic) {
 					t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, a.Name)
 				},
@@ -43,6 +54,10 @@ func TestTreeIsClean(t *testing.T) {
 				t.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
 			}
 		}
+	}
+	report := analysis.BuildReport(units, audit)
+	for _, p := range report.Problems {
+		t.Errorf("directive audit: %s: %s: %s", p.Pos, p.Kind, p.Message)
 	}
 }
 
@@ -60,20 +75,43 @@ func TestLintCLI(t *testing.T) {
 		t.Fatalf("building thynvm-lint: %v\n%s", err, out)
 	}
 
-	clean := exec.Command(bin, "./...")
+	// -report on the clean tree also audits every directive: exit 0 means
+	// zero findings AND zero stale/unknown/reason-less escape hatches.
+	clean := exec.Command(bin, "-report", "./...")
 	clean.Dir = "../.."
-	if out, err := clean.CombinedOutput(); err != nil {
-		t.Fatalf("thynvm-lint ./... on a clean tree: %v\n%s", err, out)
+	out, err := clean.CombinedOutput()
+	if err != nil {
+		t.Fatalf("thynvm-lint -report ./... on a clean tree: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no stale, unknown or reason-less directives") {
+		t.Errorf("clean-tree report did not confirm directive hygiene:\n%s", out)
 	}
 
-	// A scratch module named thynvm, so its internal/core is in scope.
+	// A scratch module named thynvm, so its internal/core and internal/mem
+	// are in scope. Each of the eight analyzers has something to find, the
+	// errflow case crossing a package boundary (core drops an error that
+	// mem's summaries say carries a Sync error).
 	dir := t.TempDir()
 	writeFile(t, filepath.Join(dir, "go.mod"), "module thynvm\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "mem", "img.go"), `package mem
+
+type Image struct{ dirty bool }
+
+func (im *Image) Sync() error {
+	im.dirty = false
+	return nil
+}
+
+// SyncAll has an error result carrying Image.Sync's error.
+func SyncAll(im *Image) error { return im.Sync() }
+`)
 	writeFile(t, filepath.Join(dir, "internal", "core", "bad.go"), `package core
 
 import (
 	"os"
 	"time"
+
+	"thynvm/internal/mem"
 )
 
 func MapSum(m map[int]int) int {
@@ -94,11 +132,35 @@ func Leak(path string) {
 	f.WriteString("x")
 	f.Close()
 }
+
+//thynvm:hotpath
+func Fast() byte { return helperA() }
+
+func helperA() byte { return helperB()[0] }
+
+func helperB() []byte { return make([]byte, 8) }
+
+func Recycle(slots []byte) {
+	//thynvm:destroys-generation reuses the previous generation's slot
+	slots[0] = 1
+}
+
+func DropSync(im *mem.Image) {
+	mem.SyncAll(im)
+}
+
+func Spawn(ch chan int) {
+	go MapSum(nil)
+	ch <- 1
+}
+
+//thynvm:allow-walltime cached at startup
+func Pure() int { return 42 }
 `)
 
 	dirty := exec.Command(bin, "./...")
 	dirty.Dir = dir
-	out, err := dirty.CombinedOutput()
+	out, err = dirty.CombinedOutput()
 	exit, ok := err.(*exec.ExitError)
 	if !ok || exit.ExitCode() != 1 {
 		t.Fatalf("thynvm-lint on a dirty tree: want exit 1, got %v\n%s", err, out)
@@ -109,14 +171,31 @@ func Leak(path string) {
 		}
 	}
 
+	// -report on the dirty module flags the allow-walltime directive that
+	// suppresses nothing as stale.
+	report := exec.Command(bin, "-report", "./...")
+	report.Dir = dir
+	out, err = report.CombinedOutput()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("thynvm-lint -report on a stale directive: want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "stale") || !strings.Contains(string(out), "no longer suppresses any finding") {
+		t.Errorf("report output missing the stale-directive error:\n%s", out)
+	}
+
+	// The vet-tool protocol must carry summaries between package units:
+	// core's errflow finding needs mem's facts, hotpathprop and persistguard
+	// need core's own.
 	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	vet.Dir = dir
 	out, err = vet.CombinedOutput()
 	if err == nil {
 		t.Fatalf("go vet -vettool on a dirty tree: want failure, got success\n%s", out)
 	}
-	if !strings.Contains(string(out), "(maporder)") {
-		t.Errorf("vettool output missing the maporder finding:\n%s", out)
+	for _, name := range []string{"maporder", "errflow", "hotpathprop", "persistguard", "gosafety"} {
+		if !strings.Contains(string(out), "("+name+")") {
+			t.Errorf("vettool output missing the %s finding:\n%s", name, out)
+		}
 	}
 }
 

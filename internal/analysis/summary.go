@@ -1,0 +1,456 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Per-function summaries: the interprocedural backbone of the suite
+// (DESIGN.md §14). Every function declaration in the module gets one
+// FuncSummary holding its direct facts (does its body allocate? touch
+// durable state? raise the generation-safety guard? return an error carrying
+// a durability-critical Sync/Close result?) plus its static call edges into
+// other module functions. Facts then propagate bottom-up over the call
+// graph's strongly connected components, so a caller inherits what its
+// callees may do, transitively, without any analyzer re-walking callee
+// bodies. The table is computed once per driver run and shared by all
+// analyzers through Pass.Summaries; under `go vet -vettool` it round-trips
+// through the .vetx fact files instead (cmd/thynvm-lint/vettool.go).
+
+// moduleName is this module's import-path root; only calls into module
+// packages get summary edges (standard-library bodies are not loaded).
+const moduleName = "thynvm"
+
+// InModule reports whether an import path belongs to this module.
+func InModule(path string) bool {
+	return path == moduleName || strings.HasPrefix(path, moduleName+"/")
+}
+
+// A FuncSummary is the per-function fact record. The boolean facts form a
+// powerset lattice ordered by implication (false ⊑ true) and propagation
+// only ever raises them, so the bottom-up SCC pass reaches a fixpoint.
+type FuncSummary struct {
+	// Marker-directive classification (doc comment).
+	HotPath     bool `json:"hotpath,omitempty"`
+	GuardRaiser bool `json:"guard_raiser,omitempty"`
+	DestroysGen bool `json:"destroys_generation,omitempty"`
+	// DestroysWhat is the //thynvm:destroys-generation description when
+	// the whole function is classified destructive.
+	DestroysWhat string `json:"destroys_what,omitempty"`
+
+	// Allocates: the body (or a transitive callee) contains a heap
+	// allocation not sanctioned by //thynvm:allow-alloc. AllocWhat/AllocPos
+	// witness the direct site; AllocVia is the callee key the allocation is
+	// reached through ("" when direct).
+	Allocates bool   `json:"allocates,omitempty"`
+	AllocWhat string `json:"alloc_what,omitempty"`
+	AllocPos  string `json:"alloc_pos,omitempty"`
+	AllocVia  string `json:"alloc_via,omitempty"`
+
+	// RaisesGuard: the function is a //thynvm:guard-raise primitive or may
+	// call one. TouchesDurable: it may call a durability-critical primitive
+	// (Sync/Close/Snapshot/... on an internal/mem type, or the NVM image's
+	// os.File/msync path). ReturnsDurableErr: it has an error result and
+	// that error may carry a durability-critical primitive's error.
+	RaisesGuard       bool `json:"raises_guard,omitempty"`
+	TouchesDurable    bool `json:"touches_durable,omitempty"`
+	ReturnsDurableErr bool `json:"returns_durable_err,omitempty"`
+
+	// HasErrorResult gates ReturnsDurableErr propagation.
+	HasErrorResult bool `json:"has_error_result,omitempty"`
+
+	// Calls lists the summary keys of module-internal functions the body
+	// statically calls (sorted, deduplicated; interface dispatch has no
+	// static callee and is not recorded).
+	Calls []string `json:"calls,omitempty"`
+}
+
+// Summaries is a module-wide (or, for fixtures, package-wide) summary table
+// keyed by FuncKey.
+type Summaries struct {
+	m map[string]*FuncSummary
+}
+
+// Lookup returns the summary for key, or nil. A nil *Summaries is an empty
+// table.
+func (s *Summaries) Lookup(key string) *FuncSummary {
+	if s == nil {
+		return nil
+	}
+	return s.m[key]
+}
+
+// Len reports the number of summarized functions.
+func (s *Summaries) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Keys returns all summary keys in sorted order.
+func (s *Summaries) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeJSON serializes the table for a .vetx fact file.
+func (s *Summaries) EncodeJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("{}"), nil
+	}
+	return json.Marshal(s.m)
+}
+
+// DecodeSummariesJSON parses a fact file produced by EncodeJSON.
+func DecodeSummariesJSON(data []byte) (*Summaries, error) {
+	m := make(map[string]*FuncSummary)
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("analysis: decoding summary facts: %v", err)
+		}
+	}
+	return &Summaries{m: m}, nil
+}
+
+// Merge folds o's entries into s (o wins on collisions) and returns s.
+func (s *Summaries) Merge(o *Summaries) *Summaries {
+	if s == nil {
+		s = &Summaries{m: make(map[string]*FuncSummary)}
+	}
+	if s.m == nil {
+		s.m = make(map[string]*FuncSummary)
+	}
+	if o != nil {
+		for k, v := range o.m {
+			s.m[k] = v
+		}
+	}
+	return s
+}
+
+// FuncKey returns the stable summary key for a function or method: the
+// generic origin's fully qualified name, e.g.
+// "(*thynvm/internal/mem.Storage).Write" or "thynvm/internal/mem.NewStorage".
+// Using the origin collapses generic instantiations onto their declaration.
+func FuncKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// declKey resolves a declaration to its summary key, or "".
+func declKey(info *types.Info, fn *ast.FuncDecl) string {
+	obj, _ := info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return ""
+	}
+	return FuncKey(obj)
+}
+
+// A SummaryUnit is one type-checked package's material for summary
+// building, mirroring the Pass fields so any driver can supply it.
+type SummaryUnit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// ComputeSummaries builds the summary table for units, resolving call edges
+// against the functions being summarized plus imported (already-final
+// summaries from dependency packages, used by the vet-tool facts protocol;
+// nil for whole-module runs). Facts propagate bottom-up over SCCs of the
+// call graph restricted to the local functions.
+func ComputeSummaries(units []SummaryUnit, imported *Summaries) *Summaries {
+	all := make(map[string]*FuncSummary)
+	if imported != nil {
+		for k, v := range imported.m {
+			all[k] = v
+		}
+	}
+	local := make(map[string]*FuncSummary)
+	for _, u := range units {
+		for _, file := range u.Files {
+			dirs := directiveLines(u.Fset, file)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				key := declKey(u.Info, fn)
+				if key == "" {
+					continue
+				}
+				s := summarizeFunc(u, dirs, fn)
+				local[key] = s
+				all[key] = s
+			}
+		}
+	}
+	propagate(all, local)
+	return &Summaries{m: all}
+}
+
+// summarizeFunc computes one function's direct facts and call edges.
+func summarizeFunc(u SummaryUnit, dirs map[int][]directive, fn *ast.FuncDecl) *FuncSummary {
+	s := &FuncSummary{HotPath: HotPath(fn)}
+	if _, ok := docDirective(fn, "guard-raise"); ok {
+		s.GuardRaiser = true
+		s.RaisesGuard = true
+	}
+	if d, ok := docDirective(fn, "destroys-generation"); ok {
+		s.DestroysGen = true
+		s.DestroysWhat = d.reason
+	}
+	if sig, ok := u.Info.Defs[fn.Name].Type().(*types.Signature); ok {
+		s.HasErrorResult = sigReturnsError(sig)
+	}
+
+	// Direct allocation witness, honoring //thynvm:allow-alloc exactly the
+	// way hotalloc does (a sanctioned amortized allocation is not an
+	// allocation for propagation purposes either).
+	allocInspect(u.Info, fn.Body, receiverRooted(fn), func(pos token.Pos, what string) {
+		if s.Allocates || allowedAt(dirs, u.Fset, pos, "allow-alloc") {
+			return
+		}
+		s.Allocates = true
+		s.AllocWhat = what
+		s.AllocPos = u.Fset.Position(pos).String()
+	})
+
+	// Call edges and direct durability facts.
+	callSet := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cfn := funcObj(u.Info, call)
+		if cfn == nil || cfn.Pkg() == nil {
+			return true
+		}
+		if InModule(cfn.Pkg().Path()) {
+			callSet[FuncKey(cfn)] = true
+		}
+		if _, ok := durablePrimitive(u.Info, u.Pkg.Path(), call); ok {
+			s.TouchesDurable = true
+			if s.HasErrorResult && !allowedAt(dirs, u.Fset, call.Pos(), "allow-errdrop") {
+				s.ReturnsDurableErr = true
+			}
+		}
+		return true
+	})
+	s.Calls = make([]string, 0, len(callSet))
+	for k := range callSet {
+		s.Calls = append(s.Calls, k)
+	}
+	sort.Strings(s.Calls)
+	return s
+}
+
+// durableMethods are the method names whose error results carry durability:
+// flushing, closing or snapshotting the NVM image.
+var durableMethods = map[string]bool{
+	"Sync": true, "Close": true, "Snapshot": true, "Flush": true, "Msync": true,
+}
+
+// memScope is the package root whose types own the durable NVM image.
+const memScope = moduleName + "/internal/mem"
+
+func inMemScope(path string) bool {
+	return path == memScope || strings.HasPrefix(path, memScope+"/")
+}
+
+// durablePrimitive classifies a call as a durability-critical primitive:
+//
+//   - a Sync/Close/Snapshot/Flush/Msync method on a type declared under
+//     thynvm/internal/mem (the Storage backends and the mmap image), from
+//     anywhere in the module;
+//   - an (*os.File).Close/Sync, or the msyncFile/munmapFile syscall
+//     wrappers, inside thynvm/internal/mem itself — the NVM image path;
+//
+// pkgPath is the package being analyzed (for the inside-mem rules). It
+// returns a human-readable description of the primitive.
+func durablePrimitive(info *types.Info, pkgPath string, call *ast.CallExpr) (string, bool) {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if sig.Recv() != nil {
+		if inMemScope(fn.Pkg().Path()) && durableMethods[name] && sigReturnsError(sig) {
+			return recvShortName(sig) + "." + name, true
+		}
+		if fn.Pkg().Path() == "os" && inMemScope(pkgPath) &&
+			(name == "Close" || name == "Sync") && recvShortName(sig) == "File" {
+			return "os.File." + name, true
+		}
+		return "", false
+	}
+	if inMemScope(fn.Pkg().Path()) && sigReturnsError(sig) &&
+		(name == "msyncFile" || name == "munmapFile") {
+		return name, true
+	}
+	return "", false
+}
+
+// recvShortName returns the bare type name of a method's receiver.
+func recvShortName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// sigReturnsError reports whether a signature's last result is error.
+func sigReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// propagate raises the may-facts bottom-up: strongly connected components
+// of the local call graph are found with Tarjan's algorithm and processed
+// in reverse topological order (callees before callers); within one SCC the
+// members share a fixpoint. Edges into imported (already-final) summaries
+// are plain reads.
+func propagate(all, local map[string]*FuncSummary) {
+	keys := make([]string, 0, len(local))
+	for k := range local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic SCC discovery and witness choice
+
+	// Tarjan's SCC. The call graph is shallow (module depth ≪ 10⁴), so the
+	// recursion is safe.
+	index := make(map[string]int, len(local))
+	low := make(map[string]int, len(local))
+	onStack := make(map[string]bool, len(local))
+	var stack []string
+	var sccs [][]string // emitted in reverse topological order
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range local[v].Calls {
+			if _, isLocal := local[w]; !isLocal {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+
+	// Tarjan emits each SCC after all SCCs it reaches, so walking the list
+	// in emission order IS bottom-up. Within an SCC, iterate to the inner
+	// fixpoint (facts can flow around the cycle).
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		for changed := true; changed; {
+			changed = false
+			for _, k := range scc {
+				s := local[k]
+				for _, c := range s.Calls {
+					cs := all[c]
+					if cs == nil || c == k {
+						continue
+					}
+					if cs.Allocates && !s.Allocates {
+						s.Allocates = true
+						s.AllocVia = c
+						changed = true
+					}
+					if cs.RaisesGuard && !s.RaisesGuard {
+						s.RaisesGuard = true
+						changed = true
+					}
+					if cs.TouchesDurable && !s.TouchesDurable {
+						s.TouchesDurable = true
+						changed = true
+					}
+					if cs.ReturnsDurableErr && s.HasErrorResult && !s.ReturnsDurableErr {
+						s.ReturnsDurableErr = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// AllocChain renders the callee chain from key to the direct allocation
+// witness, e.g. "helper → leaf (make allocates at file.go:12)". It guards
+// against cycles inside an SCC.
+func (s *Summaries) AllocChain(key string) string {
+	var parts []string
+	seen := make(map[string]bool)
+	for key != "" && !seen[key] {
+		seen[key] = true
+		fs := s.Lookup(key)
+		if fs == nil {
+			break
+		}
+		parts = append(parts, shortKey(key))
+		if fs.AllocVia == "" {
+			return fmt.Sprintf("%s (%s at %s)", strings.Join(parts, " → "), fs.AllocWhat, fs.AllocPos)
+		}
+		key = fs.AllocVia
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortKey trims the module import-path prefix from a summary key for
+// display: "(*thynvm/internal/mem.Storage).Write" → "(*mem.Storage).Write".
+func shortKey(key string) string {
+	key = strings.ReplaceAll(key, moduleName+"/internal/", "")
+	return strings.ReplaceAll(key, moduleName+"/", "")
+}

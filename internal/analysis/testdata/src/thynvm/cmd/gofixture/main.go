@@ -1,0 +1,15 @@
+// Command gofixture does concurrency legally: cmd/ packages are outside
+// the deterministic sim scope, so gosafety stays silent here.
+package main
+
+import "sync"
+
+var mu sync.Mutex
+
+func main() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	mu.Lock()
+	<-ch
+	mu.Unlock()
+}

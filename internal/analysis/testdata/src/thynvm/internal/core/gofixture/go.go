@@ -1,0 +1,42 @@
+// Package gofixture exercises gosafety: no goroutines, channel operations
+// or raw sync primitives inside the deterministic sim scope.
+package gofixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex // want `use of sync\.Mutex in deterministic sim package`
+
+var ctr atomic.Int64 // want `use of sync/atomic\.Int64 in deterministic sim package`
+
+func work() {}
+
+func spawn() {
+	go work() // want `go statement in deterministic sim package`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `make of a channel in deterministic sim package`
+	ch <- 1                 // want `channel send in deterministic sim package`
+	<-ch                    // want `channel receive in deterministic sim package`
+	close(ch)               // want `channel close in deterministic sim package`
+}
+
+func drain(ch chan int) {
+	for range ch { // want `range over channel in deterministic sim package`
+	}
+}
+
+func selecting(a, b chan int) {
+	select { // want `select statement in deterministic sim package`
+	case <-a: // want `channel receive in deterministic sim package`
+	case <-b: // want `channel receive in deterministic sim package`
+	}
+}
+
+func sanctioned() {
+	//thynvm:allow-concurrency replay merge here is order-insensitive
+	go work()
+}

@@ -1,0 +1,84 @@
+// Package guardfixture exercises persistguard: every write marked
+// //thynvm:destroys-generation must be dominated by a call to a
+// //thynvm:guard-raise primitive on the walk from function entry.
+package guardfixture
+
+type dev struct {
+	slots [4][8]byte
+	floor uint64
+}
+
+// raise durably records the generation-safety floor.
+//
+//thynvm:guard-raise
+func (d *dev) raise(floor uint64) {
+	if floor > d.floor {
+		d.floor = floor
+	}
+}
+
+// issue raises transitively; the summary propagates raise capability.
+func (d *dev) issue(floor uint64) {
+	d.raise(floor)
+}
+
+// flushGood: the raise dominates the destructive write.
+func (d *dev) flushGood(gen uint64) {
+	d.raise(gen - 1)
+	//thynvm:destroys-generation reuses the uncommitted slot
+	d.slots[gen%2][0] = 1
+}
+
+// flushBad: no raise anywhere before the destructive write.
+func (d *dev) flushBad(gen uint64) {
+	//thynvm:destroys-generation reuses the uncommitted slot
+	d.slots[gen%2][0] = 1 // want `destroying an older generation's image \(reuses the uncommitted slot\) with no dominating generation-safety-guard raise`
+}
+
+// flushCond: a raise inside the gating condition still dominates — the
+// guard-off branch is the raise primitive's own contract.
+func (d *dev) flushCond(gen uint64) {
+	if f := gen - 1; f > d.floor {
+		d.raise(f)
+	}
+	//thynvm:destroys-generation reuses the slot after a conditional raise
+	d.slots[gen%2][1] = 2
+}
+
+// flushVia: raise capability propagates through the call graph.
+func (d *dev) flushVia(gen uint64) {
+	d.issue(gen - 1)
+	//thynvm:destroys-generation reuses the slot after a transitive raise
+	d.slots[0][0] = 3
+}
+
+// flushLate: the raise is ordered after the destruction — the PR 9 bug.
+func (d *dev) flushLate(gen uint64) {
+	//thynvm:destroys-generation slot write ordered before the raise
+	d.slots[1][0] = 1 // want `no dominating generation-safety-guard raise`
+	d.raise(gen)
+}
+
+// flushDefer: a deferred raise runs at return, after the destruction.
+func (d *dev) flushDefer(gen uint64) {
+	defer d.raise(gen)
+	//thynvm:destroys-generation deferred raise does not dominate
+	d.slots[1][1] = 1 // want `no dominating generation-safety-guard raise`
+}
+
+// recycle is destructive as a whole: every call site inherits the
+// obligation, and its own body is not re-checked.
+//
+//thynvm:destroys-generation recycles the previous generation's slot
+func (d *dev) recycle() {
+	d.slots[0][0] = 0
+}
+
+func (d *dev) driveGood(gen uint64) {
+	d.raise(gen)
+	d.recycle()
+}
+
+func (d *dev) driveBad() {
+	d.recycle() // want `call to \(\*core/guardfixture\.dev\)\.recycle destroys an older generation's image \(recycles the previous generation's slot\)`
+}

@@ -1,0 +1,69 @@
+// Package hotpropfixture exercises hotpathprop: alloc-freedom must
+// propagate transitively from a //thynvm:hotpath function to everything it
+// calls, two hops and further.
+package hotpropfixture
+
+type Ring struct {
+	buf []byte
+}
+
+// Fast reaches an allocation two hops away through oneHop → twoHop.
+//
+//thynvm:hotpath
+func (r *Ring) Fast() byte {
+	return r.oneHop() // want `hotpath function Fast calls \(\*core/hotpropfixture\.Ring\)\.oneHop, which may allocate: .*oneHop → .*twoHop \(make allocates`
+}
+
+func (r *Ring) oneHop() byte {
+	return r.twoHop()[0]
+}
+
+func (r *Ring) twoHop() []byte {
+	return make([]byte, 8)
+}
+
+// grow's allocation is sanctioned at its own site, so it never enters the
+// summary and FastGrow stays clean.
+func (r *Ring) grow() {
+	//thynvm:allow-alloc table growth is the amortized slow path
+	r.buf = make([]byte, 2*len(r.buf)+1)
+}
+
+//thynvm:hotpath
+func (r *Ring) FastGrow() {
+	r.grow()
+}
+
+// FastInner is hotpath-annotated itself: hotalloc owns its body, so
+// FastOuter's call to it is not re-flagged here.
+//
+//thynvm:hotpath
+func (r *Ring) FastInner() []byte {
+	return make([]byte, 4)
+}
+
+//thynvm:hotpath
+func (r *Ring) FastOuter() byte {
+	return r.FastInner()[0]
+}
+
+// FastAllowed accepts the callee's allocation at the call site.
+//
+//thynvm:hotpath
+func (r *Ring) FastAllowed() byte {
+	//thynvm:allow-alloc cold path taken once per epoch
+	return r.oneHop()
+}
+
+// clean allocates nothing anywhere on its chain.
+func (r *Ring) clean() byte {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	return r.buf[0]
+}
+
+//thynvm:hotpath
+func (r *Ring) FastClean() byte {
+	return r.clean()
+}

@@ -1,0 +1,72 @@
+// Package errfixture exercises errflow: errors from durability-critical
+// Sync/Close/Flush primitives on internal/mem types (and os.File inside the
+// mem scope) must be propagated or checked, not dropped.
+package errfixture
+
+import "os"
+
+type Image struct{ f *os.File }
+
+func (im *Image) Sync() error  { return im.f.Sync() }
+func (im *Image) Close() error { return im.f.Close() }
+
+func (im *Image) Flush() (int, error) { return 0, im.f.Sync() }
+
+// syncImage propagates; callers dropping ITS error drop a durable one.
+func syncImage(im *Image) error { return im.Sync() }
+
+func dropBare(im *Image) {
+	im.Sync() // want `durability-critical error from Image\.Sync discarded`
+}
+
+func dropBlank(im *Image) {
+	_ = im.Sync() // want `durability-critical error from Image\.Sync assigned to _`
+}
+
+func dropTuple(im *Image) int {
+	n, _ := im.Flush() // want `durability-critical error from Image\.Flush assigned to _`
+	return n
+}
+
+func dropDefer(im *Image) {
+	defer im.Close() // want `durability-critical error from Image\.Close dropped by defer`
+}
+
+func dropGo(im *Image) {
+	go im.Sync() // want `durability-critical error from Image\.Sync dropped by go statement`
+}
+
+// dropTransitive drops an error the summaries know carries a Sync error.
+func dropTransitive(im *Image) {
+	syncImage(im) // want `durability-critical error from mem/errfixture\.syncImage discarded`
+}
+
+// dropFile: raw os.File handles are durable inside the mem scope.
+func dropFile(f *os.File) {
+	f.Close() // want `durability-critical error from os\.File\.Close discarded`
+}
+
+// checkGood: checking or propagating the error is the contract.
+func checkGood(im *Image) error {
+	if err := im.Sync(); err != nil {
+		return err
+	}
+	n, err := im.Flush()
+	_ = n
+	return err
+}
+
+// allowGood: a provably benign drop carries the escape hatch.
+func allowGood(im *Image) {
+	//thynvm:allow-errdrop best-effort cleanup after the primary error is already being returned
+	im.Close()
+}
+
+// scratch is in the mem scope but Reset is not a durable primitive.
+type scratch struct{}
+
+func (scratch) Reset() error { return nil }
+
+func dropBenign(s scratch) {
+	s.Reset()
+}

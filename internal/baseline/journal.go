@@ -231,6 +231,7 @@ func (j *Journal) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 	off := 8 + len(cpuState) + 8
 	for _, idx := range idxs {
 		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
+		//thynvm:destroys-generation journal redo applies the committed generation over home bytes
 		_, d := j.nvm.WriteAt(now, applyIssue, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		if d > applyDone {
 			applyDone = d
@@ -393,6 +394,7 @@ func (j *Journal) Recover() ([]byte, mem.Cycle, error) {
 		}
 		idx := binary.LittleEndian.Uint64(blob[off:])
 		copy(blockBuf[:], blob[off+8:off+8+mem.BlockSize])
+		//thynvm:destroys-generation recovery replay redoes generation best over home bytes
 		t, _ = j.nvm.WriteAt(t, gd, idx*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		off += 8 + mem.BlockSize
 	}

@@ -116,6 +116,8 @@ func (g *genGuard) reset() {
 // raise durably records floor (if above the current one), ordering the
 // guard write itself at issueAt, and returns the cycle destructive writes
 // must be ordered after. With the guard off it returns issueAt unchanged.
+//
+//thynvm:guard-raise
 func (g *genGuard) raise(nvm *mem.Device, now, issueAt mem.Cycle, floor uint64) mem.Cycle {
 	if !g.on {
 		return issueAt

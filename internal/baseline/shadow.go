@@ -254,6 +254,7 @@ func (s *Shadow) flush(now mem.Cycle, cpuState []byte, ckptStall bool) mem.Cycle
 		if gd > rd {
 			rd = gd
 		}
+		//thynvm:destroys-generation flush reuses the uncommitted shadow slot older generations may reference
 		_, done := s.nvm.WriteAt(now, rd, target, pageBuf[:], mem.SrcCheckpoint)
 		if done > maxDone {
 			maxDone = done
@@ -517,6 +518,7 @@ func (s *Shadow) Recover() ([]byte, mem.Cycle, error) {
 		if gd > rd {
 			rd = gd
 		}
+		//thynvm:destroys-generation recovery consolidation overwrites Home with generation best's pages
 		t, _ = s.nvm.WriteAt(rd, gd, phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
 		if end := slot + mem.PageSize; end > maxEnd {
 			maxEnd = end

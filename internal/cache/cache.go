@@ -280,6 +280,7 @@ func (h *Hierarchy) writeBelow(now mem.Cycle, li int, block uint64, data []byte)
 //
 //thynvm:hotpath
 func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
+	//thynvm:allow-alloc checkRange allocates only on the out-of-range panic path
 	if err := checkRange(addr, len(buf)); err != nil {
 		panic(err)
 	}
@@ -300,6 +301,7 @@ func (h *Hierarchy) Read(now mem.Cycle, addr uint64, buf []byte) mem.Cycle {
 //
 //thynvm:hotpath
 func (h *Hierarchy) Write(now mem.Cycle, addr uint64, data []byte) mem.Cycle {
+	//thynvm:allow-alloc checkRange allocates only on the out-of-range panic path
 	if err := checkRange(addr, len(data)); err != nil {
 		panic(err)
 	}

@@ -32,6 +32,8 @@ func (c *Controller) guardIssue(now mem.Cycle, idle uint8) mem.Cycle {
 // raiseGuard durably records floor as the lowest generation recovery may
 // fall back to, if it exceeds the current floor. The raise is monotone and
 // at most one guard write per floor value is posted.
+//
+//thynvm:guard-raise
 func (c *Controller) raiseGuard(now mem.Cycle, floor uint64) {
 	if !c.guardOn || floor <= c.guardFloor {
 		return
@@ -144,6 +146,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 			if gd := c.guardIssue(now, e.idle); gd > rd {
 				rd = gd
 			}
+			//thynvm:destroys-generation stages C_last into the slot opposite the previous checkpoint
 			_, done := c.nvm.WriteAt(now, rd, w, blockBuf[:], mem.SrcCheckpoint)
 			if done > maxDone {
 				maxDone = done
@@ -184,6 +187,7 @@ func (c *Controller) BeginCheckpoint(now mem.Cycle, cpuState []byte) mem.Cycle {
 		if gd := c.guardIssue(now, e.idle); gd > rd {
 			rd = gd
 		}
+		//thynvm:destroys-generation stages a dirty page into the slot opposite the previous checkpoint
 		_, done := c.nvm.WriteAt(now, rd, w, pageBuf[:], mem.SrcCheckpoint)
 		if done > maxDone {
 			maxDone = done

@@ -585,6 +585,7 @@ func (c *Controller) writeViaBlock(now mem.Cycle, addr uint64, data []byte) mem.
 	// checkpoint, destroying what older generations kept there: raise the
 	// generation-safety floor first (no-op with the guard off).
 	gd := c.guardIssue(now, be.idle)
+	//thynvm:destroys-generation first store of the epoch reuses the slot opposite the last checkpoint
 	ack, done := c.nvm.WriteAt(now, gd, be.wAddr(), data, mem.SrcCPU)
 	if done > c.execWriteMaxDone {
 		c.execWriteMaxDone = done
@@ -634,6 +635,7 @@ func (c *Controller) writePageRemap(now mem.Cycle, pageIdx uint64, addr uint64, 
 		var buf [mem.PageSize]byte
 		rdone := c.nvm.Read(now, pe.visibleNVMAddr(), buf[:])
 		var cpDone mem.Cycle
+		//thynvm:destroys-generation page remap copies into the slot opposite the last checkpoint
 		now, cpDone = c.nvm.WriteAt(rdone, gd, pe.wAddr(), buf[:], mem.SrcCheckpoint)
 		if cpDone > c.execWriteMaxDone {
 			c.execWriteMaxDone = cpDone

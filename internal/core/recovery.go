@@ -480,6 +480,7 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 		if gd > rd {
 			rd = gd
 		}
+		//thynvm:destroys-generation recovery consolidation overwrites Home with generation best's blocks
 		t, _ = c.nvm.WriteAt(rd, gd, r.phys*mem.BlockSize, blockBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.BlockSize; end > maxBump {
 			maxBump = end
@@ -494,6 +495,7 @@ func (c *Controller) Recover() ([]byte, mem.Cycle, error) {
 		if gd > rd {
 			rd = gd
 		}
+		//thynvm:destroys-generation recovery consolidation overwrites Home with generation best's pages
 		t, _ = c.nvm.WriteAt(rd, gd, r.phys*mem.PageSize, pageBuf[:], mem.SrcCheckpoint)
 		if end := r.slot + mem.PageSize; end > maxBump {
 			maxBump = end

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 )
@@ -151,13 +152,19 @@ func NewMmapStorage(path string, capBytes uint64) (*Storage, error) {
 	}
 	total := mmapHead + mmapMetaBytes(capBytes) + capBytes
 	if err := f.Truncate(int64(total)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("mem: mmap storage: sizing %s: %w", f.Name(), err)
+		err = fmt.Errorf("mem: mmap storage: sizing %s: %w", f.Name(), err)
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	mapping, err := mmapFile(f, int(total))
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("mem: mmap storage: mapping %s: %w", f.Name(), err)
+		err = fmt.Errorf("mem: mmap storage: mapping %s: %w", f.Name(), err)
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	mm := &mmapBacking{
 		f:       f,
@@ -184,7 +191,9 @@ func OpenMmapStorage(path string) (*Storage, error) {
 		return nil, fmt.Errorf("mem: mmap storage: %w", err)
 	}
 	fail := func(err error) (*Storage, error) {
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	st, err := f.Stat()
@@ -373,8 +382,11 @@ func (s *Storage) Snapshot(path string) error {
 		})
 	}
 	if werr != nil {
-		f.Close()
-		return fmt.Errorf("mem: snapshot %s: %w", path, werr)
+		werr = fmt.Errorf("mem: snapshot %s: %w", path, werr)
+		if cerr := f.Close(); cerr != nil {
+			werr = errors.Join(werr, cerr)
+		}
+		return werr
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("mem: snapshot %s: %w", path, err)

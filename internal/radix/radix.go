@@ -111,6 +111,7 @@ func (t *Table[V]) Ref(k uint64) *V {
 		l.bits[lo>>6]&(1<<(lo&63)) != 0 {
 		return &l.val[lo]
 	}
+	//thynvm:allow-alloc leafFor allocates once per new leaf, amortized to zero in steady state
 	l := t.leafFor(k)
 	if l.bits[lo>>6]&(1<<(lo&63)) == 0 {
 		l.bits[lo>>6] |= 1 << (lo & 63)

@@ -210,6 +210,7 @@ func (m *Machine) Compute(n uint64) {
 //
 //thynvm:hotpath
 func (m *Machine) Read(addr uint64, buf []byte) {
+	//thynvm:allow-alloc poll reaches checkpoint composition, the sanctioned epoch-boundary slow path
 	m.poll()
 	for len(buf) > 0 {
 		n := int(mem.BlockSize - addr%mem.BlockSize)
@@ -228,6 +229,7 @@ func (m *Machine) Read(addr uint64, buf []byte) {
 //
 //thynvm:hotpath
 func (m *Machine) Write(addr uint64, data []byte) {
+	//thynvm:allow-alloc poll reaches checkpoint composition, the sanctioned epoch-boundary slow path
 	m.poll()
 	for len(data) > 0 {
 		n := int(mem.BlockSize - addr%mem.BlockSize)
